@@ -1,0 +1,345 @@
+package repro_test
+
+// One benchmark per table and figure of the paper (see DESIGN.md §6 for
+// the experiment index). Custom metrics carry the reproduced quantities:
+//
+//	go test -bench=. -benchmem
+//
+// BenchmarkTable2_* report etr_pct / ecs035_pct / ecs007_pct per NoC
+// size; BenchmarkCPUTimeRatio reports the CDCM/CWM evaluation cost ratio
+// (Section 5); BenchmarkVsRandom reports the guided-vs-random saving of
+// reference [4].
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/exp"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/noc"
+	"repro/internal/search"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/wormhole"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     []exp.Workload
+	suiteErr  error
+)
+
+func table1Suite(b *testing.B) []exp.Workload {
+	b.Helper()
+	suiteOnce.Do(func() { suite, suiteErr = exp.Table1Suite() })
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+// BenchmarkTable1Suite regenerates the 18-workload suite of Table 1.
+func BenchmarkTable1Suite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := exp.Table1Suite()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s) != 18 {
+			b.Fatalf("suite = %d workloads", len(s))
+		}
+	}
+}
+
+// benchTable2Size runs the Table-2 protocol for one NoC-size row and
+// reports the reproduced ETR/ECS as custom metrics.
+func benchTable2Size(b *testing.B, size string, budget core.Options) {
+	all := table1Suite(b)
+	var ws []exp.Workload
+	for _, w := range all {
+		if w.NoCSize() == size {
+			ws = append(ws, w)
+		}
+	}
+	if len(ws) == 0 {
+		b.Fatalf("no workloads of size %s", size)
+	}
+	var rep *exp.Table2Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = exp.RunTable2(ws, exp.Table2Options{
+			Search: budget,
+			Seeds:  []int64{1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	row := rep.Rows[0]
+	b.ReportMetric(row.ETR*100, "etr_pct")
+	b.ReportMetric(row.ECS["0.35um"]*100, "ecs035_pct")
+	b.ReportMetric(row.ECS["0.07um"]*100, "ecs007_pct")
+}
+
+// The eight Table-2 rows. Small sizes use the harness defaults; the large
+// meshes use a bounded annealing budget so a bench iteration stays in the
+// tens of seconds (the full-budget numbers are in EXPERIMENTS.md, from
+// cmd/nocexp).
+func BenchmarkTable2_3x2(b *testing.B) { benchTable2Size(b, "3x2", core.Options{}) }
+func BenchmarkTable2_2x4(b *testing.B) { benchTable2Size(b, "2x4", core.Options{}) }
+func BenchmarkTable2_3x3(b *testing.B) { benchTable2Size(b, "3x3", core.Options{}) }
+func BenchmarkTable2_2x5(b *testing.B) { benchTable2Size(b, "2x5", core.Options{}) }
+func BenchmarkTable2_3x4(b *testing.B) { benchTable2Size(b, "3x4", core.Options{}) }
+
+func largeBudget(tiles int) core.Options {
+	return core.Options{
+		Method:       core.MethodSA,
+		TempSteps:    80,
+		MovesPerTemp: 5 * tiles,
+		StallSteps:   20,
+		Reheats:      1,
+	}
+}
+
+func BenchmarkTable2_8x8(b *testing.B)   { benchTable2Size(b, "8x8", largeBudget(64)) }
+func BenchmarkTable2_10x10(b *testing.B) { benchTable2Size(b, "10x10", largeBudget(100)) }
+func BenchmarkTable2_12x10(b *testing.B) { benchTable2Size(b, "12x10", largeBudget(120)) }
+
+// BenchmarkFigure2CWMEvaluation measures the CWM objective on the paper
+// example (the Figure-2 computation).
+func BenchmarkFigure2CWMEvaluation(b *testing.B) {
+	mesh, _ := topology.NewMesh(2, 2)
+	cwm, err := core.NewCWM(mesh, noc.PaperExample(), energy.PaperExample(),
+		model.PaperExampleCWG())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp := mapping.Mapping{1, 0, 3, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cwm.Cost(mp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3CDCMEvaluation measures the CDCM simulation of the
+// paper example (the Figure-3 computation: 6 packets, contention, texec).
+func BenchmarkFigure3CDCMEvaluation(b *testing.B) {
+	mesh, _ := topology.NewMesh(2, 2)
+	sim, err := wormhole.NewSimulator(mesh, noc.PaperExample(), model.PaperExampleCDCG())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp := mapping.Mapping{1, 0, 3, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(mp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ExecCycles != 100 {
+			b.Fatalf("texec = %d", res.ExecCycles)
+		}
+	}
+}
+
+// BenchmarkFigure4Gantt renders the Figure-4 timing diagram.
+func BenchmarkFigure4Gantt(b *testing.B) {
+	mesh, _ := topology.NewMesh(2, 2)
+	cfg := noc.PaperExample()
+	g := model.PaperExampleCDCG()
+	sim, err := wormhole.NewSimulator(mesh, cfg, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.Run(mapping.Mapping{1, 0, 3, 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := trace.Gantt(g, cfg, res, 100); len(out) == 0 {
+			b.Fatal("empty diagram")
+		}
+	}
+}
+
+// BenchmarkEvaluatorCWM / BenchmarkEvaluatorCDCM measure per-evaluation
+// cost on a large Table-1 instance (the Section-5 CPU-time comparison).
+func largeInstance(b *testing.B) (*topology.Mesh, noc.Config, *model.CDCG) {
+	b.Helper()
+	for _, w := range table1Suite(b) {
+		if w.Name == "tgff-12x10" {
+			mesh, err := w.Mesh()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return mesh, noc.Default(), w.G
+		}
+	}
+	b.Fatal("tgff-12x10 missing")
+	return nil, noc.Config{}, nil
+}
+
+func BenchmarkEvaluatorCWM(b *testing.B) {
+	mesh, cfg, g := largeInstance(b)
+	cwm, err := core.NewCWM(mesh, cfg, energy.Tech007, g.ToCWG())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp := mapping.Identity(g.NumCores())
+	if _, err := cwm.Cost(mp); err != nil { // warm route cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cwm.Cost(mp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluatorCDCM(b *testing.B) {
+	mesh, cfg, g := largeInstance(b)
+	cdcm, err := core.NewCDCM(mesh, cfg, energy.Tech007, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp := mapping.Identity(g.NumCores())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdcm.Cost(mp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCPUTimeRatio reports the measured CDCM/CWM per-evaluation cost
+// ratio across the small workloads (Section 5's "worst case took only 23%
+// more CPU time" claim; see EXPERIMENTS.md for why our ratio differs).
+func BenchmarkCPUTimeRatio(b *testing.B) {
+	all := table1Suite(b)
+	var small []exp.Workload
+	for _, w := range all {
+		if w.MeshW*w.MeshH <= 12 {
+			small = append(small, w)
+		}
+	}
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		outs, err := exp.RunCPUTime(small, noc.Config{}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, o := range outs {
+			if o.Ratio > worst {
+				worst = o.Ratio
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst_cdcm_over_cwm")
+}
+
+// BenchmarkExhaustiveVsSA certifies SA against exhaustive search on a
+// small instance (the Section-5 small-NoC observation).
+func BenchmarkExhaustiveVsSA(b *testing.B) {
+	all := table1Suite(b)
+	var ws []exp.Workload
+	for _, w := range all {
+		if w.NoCSize() == "3x2" {
+			ws = append(ws, w)
+		}
+	}
+	var matches, total int
+	for i := 0; i < b.N; i++ {
+		outs, err := exp.RunESvsSA(ws, noc.Config{}, 1000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		matches, total = 0, len(outs)
+		for _, o := range outs {
+			if o.SAMatches {
+				matches++
+			}
+		}
+	}
+	b.ReportMetric(float64(matches)/float64(total)*100, "sa_optimal_pct")
+}
+
+// BenchmarkVsRandom reports the guided-vs-random-mapping energy saving
+// (the >60% claim of reference [4]).
+func BenchmarkVsRandom(b *testing.B) {
+	all := table1Suite(b)
+	var ws []exp.Workload
+	for _, w := range all {
+		if w.MeshW*w.MeshH <= 12 {
+			ws = append(ws, w)
+		}
+	}
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		outs, err := exp.RunVsRandom(ws, noc.Config{}, 60, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = 0
+		for _, o := range outs {
+			avg += o.Saving
+		}
+		avg /= float64(len(outs))
+	}
+	b.ReportMetric(avg*100, "saving_pct")
+}
+
+// BenchmarkAnnealer measures annealing throughput on a mid-size CDCM
+// problem (the framework's hot loop).
+func BenchmarkAnnealer(b *testing.B) {
+	all := table1Suite(b)
+	var w exp.Workload
+	for _, cand := range all {
+		if cand.Name == "fft8-gather" {
+			w = cand
+		}
+	}
+	mesh, err := w.Mesh()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cdcm, err := core.NewCDCM(mesh, noc.Default(), energy.Tech007, w.G)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := (&search.Annealer{
+			Problem:   search.Problem{Mesh: mesh, NumCores: w.G.NumCores(), Obj: cdcm},
+			Seed:      int64(i),
+			TempSteps: 30,
+		}).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWormholeSimLarge measures one CDCM simulation of the largest
+// Table-1 instance (99 cores, 446 packets on 12x10).
+func BenchmarkWormholeSimLarge(b *testing.B) {
+	mesh, cfg, g := largeInstance(b)
+	sim, err := wormhole.NewSimulator(mesh, cfg, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp := mapping.Identity(g.NumCores())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(mp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command nocexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	nocexp -exp table1                  # Table 1: workload suite summary
+//	nocexp -exp table2 -seeds 3         # Table 2: CDCM vs CWM (ETR/ECS)
+//	nocexp -exp fig1|fig2|fig3|fig4|fig5
+//	nocexp -exp esvssa                  # ES certifies SA on small NoCs
+//	nocexp -exp cputime                 # CWM vs CDCM evaluation cost
+//	nocexp -exp vsrandom                # guided mapping vs random ([4])
+//	nocexp -exp all
+//
+// Every run is deterministic for a given -seed/-seeds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/noc"
+)
+
+func main() {
+	var (
+		which    = flag.String("exp", "all", "experiment: table1, table2, fig1..fig5, esvssa, cputime, vsrandom, sensitivity, buffers, ablation, all")
+		seeds    = flag.Int("seeds", 1, "number of search seeds to average over (table2)")
+		steps    = flag.Int("steps", 0, "SA temperature steps (0 = default)")
+		moves    = flag.Int("moves", 0, "SA moves per temperature (0 = default)")
+		maxTiles = flag.Int("maxtiles", 0, "skip workloads on NoCs with more tiles (0 = none)")
+		esMax    = flag.Int64("esmax", 50000, "max placements for exhaustive search (esvssa)")
+		samples  = flag.Int("samples", 100, "random-mapping samples (vsrandom)")
+		seed     = flag.Int64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	if err := run(*which, *seeds, *steps, *moves, *maxTiles, *esMax, *samples, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "nocexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, seeds, steps, moves, maxTiles int, esMax int64, samples int, seed int64) error {
+	suite, err := exp.Table1Suite()
+	if err != nil {
+		return err
+	}
+	seedList := make([]int64, seeds)
+	for i := range seedList {
+		seedList[i] = seed + int64(i)
+	}
+
+	do := func(name string) bool { return which == name || which == "all" }
+
+	if do("table1") {
+		fmt.Println(exp.RenderTable1(suite))
+	}
+	if do("fig1") || do("fig2") || do("fig3") || do("fig4") || do("fig5") || which == "all" {
+		f, err := exp.NewFigureExample()
+		if err != nil {
+			return err
+		}
+		if do("fig1") {
+			fmt.Println(f.RenderFigure1())
+		}
+		if do("fig2") {
+			s, err := f.RenderFigure2()
+			if err != nil {
+				return err
+			}
+			fmt.Println(s)
+		}
+		if do("fig3") {
+			fmt.Println(f.RenderFigure3())
+		}
+		if do("fig4") {
+			fmt.Println(f.RenderFigure4())
+		}
+		if do("fig5") {
+			fmt.Println(f.RenderFigure5())
+		}
+	}
+	if do("table2") {
+		rep, err := exp.RunTable2(suite, exp.Table2Options{
+			Search:   core.Options{Method: core.MethodSA, TempSteps: steps, MovesPerTemp: moves},
+			Seeds:    seedList,
+			MaxTiles: maxTiles,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+	}
+	if do("esvssa") {
+		outs, err := exp.RunESvsSA(suite, noc.Config{}, esMax, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderESvsSA(outs))
+	}
+	if do("cputime") {
+		outs, err := exp.RunCPUTime(suite, noc.Config{}, 30)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderCPUTime(outs))
+	}
+	if do("vsrandom") {
+		outs, err := exp.RunVsRandom(suite, noc.Config{}, samples, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderVsRandom(outs))
+	}
+	if which == "buffers" { // analysis extra: not part of "all"
+		var small []exp.Workload
+		for _, w := range suite {
+			if maxTiles == 0 || w.MeshW*w.MeshH <= maxTiles {
+				small = append(small, w)
+			}
+		}
+		outs, err := exp.RunBuffers(small, noc.Config{}, nil,
+			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves})
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderBuffers(outs))
+	}
+	if which == "ablation" { // analysis extra: not part of "all"
+		var small []exp.Workload
+		for _, w := range suite {
+			if maxTiles == 0 || w.MeshW*w.MeshH <= maxTiles {
+				small = append(small, w)
+			}
+		}
+		outs, err := exp.RunAblations(small, nil,
+			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves})
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderAblations(outs))
+	}
+	if which == "sensitivity" { // analysis extra: not part of "all"
+		var small []exp.Workload
+		for _, w := range suite {
+			if maxTiles == 0 || w.MeshW*w.MeshH <= maxTiles {
+				small = append(small, w)
+			}
+		}
+		outs, err := exp.RunSensitivity(small, noc.Config{}, samples, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderSensitivity(outs))
+	}
+	return nil
+}

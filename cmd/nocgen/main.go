@@ -1,0 +1,92 @@
+// Command nocgen generates synthetic CDCG benchmarks (the TGFF-like
+// generator of internal/appgen) or exports one of the built-in embedded
+// applications, writing the CDCG as JSON to stdout.
+//
+// Examples:
+//
+//	nocgen -cores 9 -packets 51 -bits 23244 -seed 7 > bench.json
+//	nocgen -mode phases -cores 16 -packets 120 -bits 500000 > bsp.json
+//	nocgen -embedded fft8 > fft8.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/appgen"
+	"repro/internal/apps"
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		cores    = flag.Int("cores", 8, "number of IP cores")
+		packets  = flag.Int("packets", 32, "number of CDCG packets")
+		bits     = flag.Int64("bits", 10000, "total communicated bits")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		mode     = flag.String("mode", "chains", "dependence structure: chains or phases")
+		chains   = flag.Int("chains", 0, "parallel chains (chains mode; 0 = default)")
+		hotspot  = flag.Float64("hotspot", 0, "hotspot destination bias in [0,1)")
+		classes  = flag.Int("classes", 0, "quantise volumes into N transfer classes (0 = continuous)")
+		name     = flag.String("name", "", "benchmark name")
+		embedded = flag.String("embedded", "", "export an embedded app instead: romberg, fft8, fft8-gather, objrec, imgenc")
+		format   = flag.String("format", "json", "output format: json or text")
+	)
+	flag.Parse()
+
+	g, err := build(*embedded, *mode, *name, *cores, *packets, *chains, *classes, *bits, *seed, *hotspot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocgen:", err)
+		os.Exit(1)
+	}
+	switch *format {
+	case "json":
+		err = g.WriteJSON(os.Stdout)
+	case "text":
+		err = g.WriteText(os.Stdout)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocgen:", err)
+		os.Exit(1)
+	}
+}
+
+func build(embedded, mode, name string, cores, packets, chains, classes int,
+	bits, seed int64, hotspot float64) (*model.CDCG, error) {
+
+	if embedded != "" {
+		switch embedded {
+		case "romberg":
+			return apps.Romberg(cores-1, packets, bits)
+		case "fft8":
+			return apps.FFT8(false, packets, bits)
+		case "fft8-gather":
+			return apps.FFT8(true, packets, bits)
+		case "objrec":
+			return apps.ObjRecognition(cores, packets, bits)
+		case "imgenc":
+			return apps.ImageEncoder(cores, packets, bits)
+		}
+		return nil, fmt.Errorf("unknown embedded app %q", embedded)
+	}
+	var m appgen.Mode
+	switch mode {
+	case "chains":
+		m = appgen.ModeChains
+	case "phases":
+		m = appgen.ModePhases
+	default:
+		return nil, fmt.Errorf("unknown mode %q", mode)
+	}
+	if name == "" {
+		name = fmt.Sprintf("%s-c%d-p%d", mode, cores, packets)
+	}
+	return appgen.Generate(appgen.Params{
+		Name: name, Mode: m, Cores: cores, Packets: packets,
+		TotalBits: bits, Seed: seed, Chains: chains,
+		HotspotBias: hotspot, VolumeClasses: classes,
+	})
+}

@@ -1,0 +1,59 @@
+package main
+
+import "testing"
+
+func TestBuildGenerated(t *testing.T) {
+	g, err := build("", "chains", "bench", 6, 20, 0, 0, 4000, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "bench" || g.NumPackets() != 20 || g.TotalBits() != 4000 {
+		t.Fatalf("generated: %s %d %d", g.Name, g.NumPackets(), g.TotalBits())
+	}
+	g, err = build("", "phases", "", 8, 32, 0, 0, 8000, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "phases-c8-p32" {
+		t.Fatalf("default name = %q", g.Name)
+	}
+}
+
+func TestBuildEmbedded(t *testing.T) {
+	cases := []struct {
+		app     string
+		cores   int
+		packets int
+		bits    int64
+	}{
+		{"romberg", 5, 16, 1600},
+		{"fft8", 8, 24, 2400},
+		{"fft8-gather", 9, 32, 3200},
+		{"objrec", 7, 18, 900},
+		{"imgenc", 5, 18, 1800},
+	}
+	for _, tc := range cases {
+		g, err := build(tc.app, "", "", tc.cores, tc.packets, 0, 0, tc.bits, 1, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.app, err)
+		}
+		if g.NumPackets() != tc.packets || g.TotalBits() != tc.bits {
+			t.Fatalf("%s: %d packets %d bits", tc.app, g.NumPackets(), g.TotalBits())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", tc.app, err)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build("unknown-app", "", "", 4, 8, 0, 0, 100, 1, 0); err == nil {
+		t.Error("unknown embedded app accepted")
+	}
+	if _, err := build("", "spirals", "", 4, 8, 0, 0, 100, 1, 0); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := build("", "chains", "", 1, 8, 0, 0, 100, 1, 0); err == nil {
+		t.Error("single-core benchmark accepted")
+	}
+}

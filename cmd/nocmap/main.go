@@ -1,0 +1,192 @@
+// Command nocmap maps one application onto a mesh NoC.
+//
+// The application is a CDCG in JSON (see internal/model; cmd/nocgen
+// produces them), or the built-in paper example with -demo. Example:
+//
+//	nocmap -app app.json -mesh 3x3 -model cdcm -method sa -seed 7 -gantt
+//
+// explores a 3x3 mesh under the CDCM objective with simulated annealing
+// and prints the winning mapping, its metrics and a timing diagram.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/model"
+	"repro/internal/noc"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		appPath  = flag.String("app", "", "CDCG JSON file (or use -demo)")
+		demo     = flag.Bool("demo", false, "use the paper's Figure-1 example application")
+		meshSpec = flag.String("mesh", "", "mesh dimensions WxH (default: smallest square fitting the cores)")
+		modelSel = flag.String("model", "cdcm", "mapping model: cwm or cdcm")
+		method   = flag.String("method", "sa", "search method: sa, es, random, hill, tabu")
+		seed     = flag.Int64("seed", 1, "search seed")
+		techSel  = flag.String("tech", "0.07um", "technology profile: 0.35um, 0.07um or paper")
+		routing  = flag.String("routing", "xy", "routing algorithm: xy or yx")
+		gantt    = flag.Bool("gantt", false, "print the timing diagram of the winning mapping")
+		annotate = flag.Bool("annotate", false, "print per-resource occupancy annotations")
+		flits    = flag.Int("flitbits", 1, "link width in bits per flit")
+	)
+	flag.Parse()
+	if err := run(*appPath, *demo, *meshSpec, *modelSel, *method, *techSel, *routing,
+		*seed, *gantt, *annotate, *flits); err != nil {
+		fmt.Fprintln(os.Stderr, "nocmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appPath string, demo bool, meshSpec, modelSel, method, techSel, routing string,
+	seed int64, gantt, annotate bool, flits int) error {
+
+	var g *model.CDCG
+	switch {
+	case demo:
+		g = model.PaperExampleCDCG()
+	case appPath != "":
+		f, err := os.Open(appPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// JSON by extension; the line-oriented text format otherwise
+		// (see internal/model/text.go for its grammar).
+		if strings.HasSuffix(appPath, ".json") {
+			g, err = model.ReadCDCG(f)
+		} else {
+			g, err = model.ParseText(f)
+		}
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -app FILE or -demo")
+	}
+
+	mesh, err := parseMesh(meshSpec, g.NumCores())
+	if err != nil {
+		return err
+	}
+	cfg := noc.Default()
+	cfg.FlitBits = flits
+	if cfg.Routing, err = topology.ParseRoutingAlgo(routing); err != nil {
+		return err
+	}
+
+	var tech energy.Tech
+	switch techSel {
+	case "0.35um":
+		tech = energy.Tech035
+	case "0.07um":
+		tech = energy.Tech007
+	case "paper":
+		tech = energy.PaperExample()
+	default:
+		return fmt.Errorf("unknown tech %q", techSel)
+	}
+
+	var strategy core.Strategy
+	switch modelSel {
+	case "cwm":
+		strategy = core.StrategyCWM
+	case "cdcm":
+		strategy = core.StrategyCDCM
+	default:
+		return fmt.Errorf("unknown model %q", modelSel)
+	}
+	m, err := core.ParseMethod(method)
+	if err != nil {
+		return err
+	}
+
+	res, err := core.Explore(strategy, mesh, cfg, tech, g, core.Options{Method: m, Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("application: %s (%d cores, %d packets, %d bits)\n",
+		appName(g), g.NumCores(), g.NumPackets(), g.TotalBits())
+	fmt.Printf("NoC: %dx%d mesh, %s routing, %d-bit flits; model %s, search %s (seed %d)\n",
+		mesh.W(), mesh.H(), cfg.Routing, cfg.FlitBits, strategy, m, seed)
+	fmt.Printf("evaluations: %d, best cost: %.6g pJ\n", res.Search.Evaluations, res.Search.BestCost*1e12)
+	fmt.Println("mapping:")
+	fmt.Print(trace.MappingGrid(mesh, g.CoreName, res.Best))
+	met := res.Metrics
+	fmt.Printf("texec = %d cycles (%.4g ns), contention = %d cycles\n",
+		met.ExecCycles, met.ExecNS, met.ContentionCycles)
+	fmt.Printf("energy (%s): dynamic %.6g pJ + static %.6g pJ = %.6g pJ (static share %.1f %%)\n",
+		tech.Name, met.Energy.Dynamic*1e12, met.Energy.Static*1e12,
+		met.Total()*1e12, met.Energy.StaticShare()*100)
+
+	if gantt || annotate {
+		cdcm, err := core.NewCDCM(mesh, cfg, tech, g)
+		if err != nil {
+			return err
+		}
+		cdcm.Simulator().RecordOccupancy = true
+		raw, _, err := cdcm.Simulate(res.Best)
+		if err != nil {
+			return err
+		}
+		if gantt {
+			fmt.Println()
+			fmt.Print(trace.Gantt(g, cfg, raw, 100))
+		}
+		if annotate {
+			fmt.Println()
+			fmt.Print(trace.AnnotateSchedule(mesh, g, res.Best, raw))
+		}
+	}
+	return nil
+}
+
+func appName(g *model.CDCG) string {
+	if g.Name != "" {
+		return g.Name
+	}
+	return "(unnamed)"
+}
+
+// parseMesh parses "WxH", or picks the smallest near-square mesh fitting
+// the cores when spec is empty.
+func parseMesh(spec string, cores int) (*topology.Mesh, error) {
+	if spec == "" {
+		w := 1
+		for w*w < cores {
+			w++
+		}
+		h := w
+		for (h-1)*w >= cores {
+			h--
+		}
+		return topology.NewMesh(w, h)
+	}
+	parts := strings.SplitN(strings.ToLower(spec), "x", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("mesh spec %q is not WxH", spec)
+	}
+	var w, h int
+	if _, err := fmt.Sscanf(parts[0], "%d", &w); err != nil {
+		return nil, fmt.Errorf("mesh width %q: %w", parts[0], err)
+	}
+	if _, err := fmt.Sscanf(parts[1], "%d", &h); err != nil {
+		return nil, fmt.Errorf("mesh height %q: %w", parts[1], err)
+	}
+	mesh, err := topology.NewMesh(w, h)
+	if err != nil {
+		return nil, err
+	}
+	if cores > mesh.NumTiles() {
+		return nil, fmt.Errorf("%d cores do not fit on a %s mesh", cores, spec)
+	}
+	return mesh, nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestParseMeshExplicit(t *testing.T) {
+	m, err := parseMesh("3x2", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.W() != 3 || m.H() != 2 {
+		t.Fatalf("mesh = %dx%d", m.W(), m.H())
+	}
+}
+
+func TestParseMeshAuto(t *testing.T) {
+	cases := []struct{ cores, w, h int }{
+		{4, 2, 2},
+		{5, 3, 2},
+		{9, 3, 3},
+		{10, 4, 3},
+		{1, 1, 1},
+	}
+	for _, tc := range cases {
+		m, err := parseMesh("", tc.cores)
+		if err != nil {
+			t.Fatalf("cores %d: %v", tc.cores, err)
+		}
+		if m.W() != tc.w || m.H() != tc.h {
+			t.Errorf("cores %d: mesh %dx%d, want %dx%d", tc.cores, m.W(), m.H(), tc.w, tc.h)
+		}
+		if m.NumTiles() < tc.cores {
+			t.Errorf("cores %d: mesh too small", tc.cores)
+		}
+	}
+}
+
+func TestParseMeshErrors(t *testing.T) {
+	for _, spec := range []string{"3", "ax2", "3xb", "0x4"} {
+		if _, err := parseMesh(spec, 2); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if _, err := parseMesh("2x2", 5); err == nil {
+		t.Error("oversubscribed mesh accepted")
+	}
+}
+
+func TestRunDemoEndToEnd(t *testing.T) {
+	// Full CLI path: demo app, ES search, paper tech, with diagrams.
+	if err := run("", true, "2x2", "cdcm", "es", "paper", "xy", 1, true, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	// CWM path too.
+	if err := run("", true, "2x2", "cwm", "sa", "0.07um", "yx", 1, false, false, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromTextAndJSONFiles(t *testing.T) {
+	dir := t.TempDir()
+	text := filepath.Join(dir, "app.cdcg")
+	if err := os.WriteFile(text, []byte(
+		"name t\ncores a b\npacket p1 a b compute=2 bits=9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(text, false, "2x1", "cdcm", "es", "paper", "xy", 1, false, false, 1); err != nil {
+		t.Fatalf("text app: %v", err)
+	}
+	jsonPath := filepath.Join(dir, "app.json")
+	var buf bytes.Buffer
+	if err := model.PaperExampleCDCG().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jsonPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(jsonPath, false, "2x2", "cwm", "sa", "0.35um", "xy", 1, false, false, 1); err != nil {
+		t.Fatalf("json app: %v", err)
+	}
+	// A JSON payload under a text extension must be rejected cleanly.
+	badPath := filepath.Join(dir, "bad.cdcg")
+	if err := os.WriteFile(badPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(badPath, false, "2x2", "cdcm", "sa", "paper", "xy", 1, false, false, 1); err == nil {
+		t.Fatal("JSON-in-text accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"no app", func() error { return run("", false, "", "cdcm", "sa", "paper", "xy", 1, false, false, 1) }},
+		{"bad model", func() error { return run("", true, "", "xxx", "sa", "paper", "xy", 1, false, false, 1) }},
+		{"bad method", func() error { return run("", true, "", "cdcm", "xxx", "paper", "xy", 1, false, false, 1) }},
+		{"bad tech", func() error { return run("", true, "", "cdcm", "sa", "90nm", "xy", 1, false, false, 1) }},
+		{"bad routing", func() error { return run("", true, "", "cdcm", "sa", "paper", "zz", 1, false, false, 1) }},
+		{"missing file", func() error {
+			return run("/nonexistent.json", false, "", "cdcm", "sa", "paper", "xy", 1, false, false, 1)
+		}},
+	}
+	for _, tc := range cases {
+		if tc.err() == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}

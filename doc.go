@@ -1,0 +1,36 @@
+// Package repro reproduces "Exploring NoC Mapping Strategies: An Energy
+// and Timing Aware Technique" (Marcon, Calazans, Moraes, Susin, Reis,
+// Hessel — DATE 2005) as a production-quality Go library.
+//
+// The library implements the paper's FRW mapping-exploration framework:
+// the CWM (communication weighted) and CDCM (communication dependence and
+// computation) application models, a contention-aware wormhole NoC timing
+// simulator, the dynamic+static energy model, simulated-annealing and
+// exhaustive mapping search, the TGFF-like benchmark generator and the
+// four embedded applications of the evaluation, plus the harness that
+// regenerates every table and figure of the paper.
+//
+// Layout:
+//
+//	internal/graph      DAG utilities
+//	internal/model      CWG and CDCG application models (Definitions 1-2)
+//	internal/topology   mesh/torus topology and XY/YX routing (Definition 3)
+//	internal/noc        NoC architecture configuration (tr, tl, λ, flits)
+//	internal/wormhole   timed, contention-aware wormhole simulator
+//	internal/energy     bit-energy model and technology profiles (eqs. 1-10)
+//	internal/mapping    core→tile placements, moves, enumeration
+//	internal/search     SA / exhaustive / hill / random / tabu engines
+//	internal/core       the FRW framework: CWM & CDCM strategies (the contribution)
+//	internal/appgen     TGFF-like CDCG benchmark generator
+//	internal/apps       Romberg, FFT-8, object recognition, image encoder
+//	internal/trace      timing diagrams and annotated-CRG rendering
+//	internal/exp        regeneration of every table and figure
+//	cmd/nocmap          map one application onto a NoC
+//	cmd/nocgen          generate benchmark CDCGs
+//	cmd/nocexp          reproduce the paper's tables and figures
+//	examples/...        runnable walk-throughs
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each table and figure under `go test -bench`.
+package repro

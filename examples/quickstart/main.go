@@ -1,0 +1,54 @@
+// Quickstart: the paper's Section 4.1 worked example, end to end.
+//
+// It builds the Figure-1 application (4 cores, 6 packets on a 2x2 NoC),
+// evaluates the two published mappings under both models, and regenerates
+// Figures 2-5: CWM cannot tell the mappings apart (390 pJ both), while
+// CDCM exposes the 100 ns vs 90 ns execution-time difference and the
+// 400 pJ vs 399 pJ total energy gap.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+)
+
+func main() {
+	f, err := exp.NewFigureExample()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== The application and the two mappings (Figure 1) ===")
+	fmt.Println(f.RenderFigure1())
+
+	fmt.Println("=== CWM evaluation (Figure 2): both mappings look identical ===")
+	fig2, err := f.RenderFigure2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig2)
+
+	fmt.Println("=== CDCM evaluation (Figure 3): time and total energy differ ===")
+	fmt.Println(f.RenderFigure3())
+
+	fmt.Println("=== Timing diagrams (Figures 4 and 5) ===")
+	fmt.Println(f.RenderFigure4())
+	fmt.Println(f.RenderFigure5())
+
+	// Finally, let the framework search the whole 24-mapping space under
+	// the CDCM objective: exhaustive search certifies that the paper's
+	// mapping (b) is in fact a global optimum.
+	res, err := core.Explore(core.StrategyCDCM, f.Mesh, f.Cfg, f.Tech, f.G,
+		core.Options{Method: core.MethodES})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== Exhaustive search over all %d placements ===\n", res.Search.Evaluations)
+	fmt.Printf("certified optimum: %.4g pJ at texec %d ns (paper mapping (b): 399 pJ, 90 ns)\n",
+		res.Search.BestCost*1e12, res.Metrics.ExecCycles)
+}

@@ -1,0 +1,43 @@
+// Sweep example: a miniature Table 2 — run the CWM-vs-CDCM protocol over
+// the small-NoC portion of the workload suite and print the per-size
+// ETR/ECS rows plus the measured leakage shares.
+//
+// Run with: go run ./examples/sweep           (small NoCs, ~seconds)
+//
+// The full-suite regeneration (all 18 workloads, large meshes, several
+// seeds) lives in cmd/nocexp and bench_test.go.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+)
+
+func main() {
+	suite, err := exp.Table1Suite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderTable1(suite))
+
+	rep, err := exp.RunTable2(suite, exp.Table2Options{
+		Search:   core.Options{Method: core.MethodSA},
+		Seeds:    []int64{1, 2},
+		MaxTiles: 12, // small NoCs only; the full sweep is cmd/nocexp's job
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Render())
+
+	// Per-workload detail: where does the CDCM win come from?
+	fmt.Println("per-run detail (0.07um):")
+	for _, o := range rep.Outcomes {
+		fmt.Printf("  %-16s seed %d: texec %7d -> %7d cycles (ETR %5.1f %%), contention %7d -> %7d\n",
+			o.Workload, o.Seed, o.CWMExecCycles, o.CDCMExecCycles, o.ETR*100,
+			o.CWMContention, o.CDCMContention)
+	}
+}

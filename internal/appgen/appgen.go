@@ -1,0 +1,394 @@
+// Package appgen generates synthetic CDCG benchmarks. It stands in for
+// the paper's "proprietary system similar to TGFF" that "describes
+// benchmarks through CDCGs, representing message dependence and bit volume
+// of each message" (Section 5). The generator is deterministic under a
+// seed and hits the requested core count, packet count and total bit
+// volume EXACTLY, so the Table-1 workload suite can be regenerated from
+// its published aggregate characteristics.
+//
+// Structure: packets are organised into a configurable number of parallel
+// dependence chains that pipeline through the cores (a packet's consumer
+// computes and forwards), with optional cross-chain dependences and an
+// optional traffic hotspot. Parallel chains are what make mappings differ
+// in contention — the effect CDCM can see and CWM cannot.
+package appgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Mode selects the generated dependence structure.
+type Mode int
+
+const (
+	// ModeChains (default) builds pipelined dependence chains that wander
+	// across the cores — streaming/dataflow-style applications.
+	ModeChains Mode = iota
+	// ModePhases builds barrier-synchronised communication rounds: in
+	// each phase every core sends one equal-class packet to a partner
+	// drawn from a random derangement, and a core's phase-r send depends
+	// on what it sent and received in phase r-1 (BSP-style parallel
+	// kernels, like the FFT's butterfly exchanges). Phase traffic is
+	// symmetric and simultaneous, which makes mapping quality show up as
+	// contention — the CWM-blind effect the paper measures.
+	ModePhases
+)
+
+// Params configures one generated benchmark.
+type Params struct {
+	// Name labels the CDCG.
+	Name string
+	// Mode selects the dependence structure (default ModeChains).
+	Mode Mode
+	// Cores is the exact number of IP cores; every core is used.
+	Cores int
+	// Packets is the exact number of CDCG packet vertices.
+	Packets int
+	// TotalBits is the exact total communicated volume.
+	TotalBits int64
+	// Seed makes generation reproducible.
+	Seed int64
+	// Chains is the number of independent dependence chains (parallel
+	// pipelines). 0 defaults to max(2, Cores/2).
+	Chains int
+	// CrossDeps is the probability that a packet gains one extra
+	// dependence on a packet of another chain (default 0.15 when zero;
+	// use a negative value for none).
+	CrossDeps float64
+	// ComputeMin/ComputeMax bound per-packet computation times in cycles
+	// (defaults 5..60).
+	ComputeMin, ComputeMax int64
+	// HotspotBias in [0,1) is the probability that a packet's destination
+	// is redirected to a designated hotspot core, concentrating traffic
+	// (default 0).
+	HotspotBias float64
+	// VolumeSpread controls the dispersion of per-packet volumes: 0
+	// defaults to 0.8. Larger values produce heavier-tailed packet sizes.
+	VolumeSpread float64
+	// VolumeClasses, when positive, quantises packet volumes into that
+	// many discrete size classes (TGFF-style transfer classes). Few
+	// classes create many equal-volume packets, and therefore large
+	// plateaus of dynamic-energy-equal mappings — the regime where a
+	// volume-only mapper (CWM) is blind to large timing differences.
+	VolumeClasses int
+}
+
+func (p Params) validate() error {
+	if p.Cores < 2 {
+		return fmt.Errorf("appgen: need at least 2 cores, got %d", p.Cores)
+	}
+	if p.Packets < 1 {
+		return fmt.Errorf("appgen: need at least 1 packet, got %d", p.Packets)
+	}
+	if p.TotalBits < int64(p.Packets) {
+		return fmt.Errorf("appgen: %d bits cannot cover %d packets (each needs >=1)", p.TotalBits, p.Packets)
+	}
+	if p.HotspotBias < 0 || p.HotspotBias >= 1 {
+		return fmt.Errorf("appgen: hotspot bias %g outside [0,1)", p.HotspotBias)
+	}
+	if p.ComputeMin < 0 || p.ComputeMax < p.ComputeMin {
+		return fmt.Errorf("appgen: bad compute bounds [%d,%d]", p.ComputeMin, p.ComputeMax)
+	}
+	return nil
+}
+
+// Generate builds the benchmark CDCG.
+func Generate(p Params) (*model.CDCG, error) {
+	if p.ComputeMin == 0 && p.ComputeMax == 0 {
+		p.ComputeMin, p.ComputeMax = 5, 60
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	chains := p.Chains
+	if chains == 0 {
+		chains = p.Cores / 2
+		if chains < 2 {
+			chains = 2
+		}
+	}
+	if chains > p.Packets {
+		chains = p.Packets
+	}
+	cross := p.CrossDeps
+	if cross == 0 {
+		cross = 0.15
+	}
+	if cross < 0 {
+		cross = 0
+	}
+	spread := p.VolumeSpread
+	if spread == 0 {
+		spread = 0.8
+	}
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := &model.CDCG{Name: p.Name, Cores: model.MakeCores(p.Cores)}
+
+	if p.Mode == ModePhases {
+		buildPhases(g, p, rng)
+	} else {
+		buildChains(g, p, rng, chains, cross)
+	}
+
+	// Heavy-tailed (or class-quantised) per-packet volumes, scaled to sum
+	// exactly to TotalBits.
+	weights := make([]float64, p.Packets)
+	if p.Mode == ModePhases {
+		// Equal transfer class: phase exchanges move the same payload.
+		for i := range weights {
+			weights[i] = 1
+		}
+	} else if p.VolumeClasses > 0 {
+		// Discrete size classes, geometrically spaced (x2 per class),
+		// drawn uniformly.
+		class := make([]float64, p.VolumeClasses)
+		for c := range class {
+			class[c] = math.Pow(2, float64(c))
+		}
+		for i := range weights {
+			weights[i] = class[rng.Intn(len(class))]
+		}
+	} else {
+		for i := range weights {
+			// Log-normal: exp(spread * N(0,1)), clamped to a 6-decade
+			// range so ScaleVolumes stays well conditioned.
+			x := spread * rng.NormFloat64()
+			if x > 7 {
+				x = 7
+			} else if x < -7 {
+				x = -7
+			}
+			weights[i] = math.Exp(x)
+		}
+	}
+	vols := ScaleVolumes(weights, p.TotalBits)
+	for i := range g.Packets {
+		g.Packets[i].Bits = vols[i]
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("appgen: generated invalid CDCG: %w", err)
+	}
+	return g, nil
+}
+
+// buildPhases constructs the ModePhases dependence structure.
+func buildPhases(g *model.CDCG, p Params, rng *rand.Rand) {
+	compute := computeFn(p, rng)
+	// prevSent[c] / prevRecv[c]: the packet core c sent / received in the
+	// previous phase (-1 if none).
+	prevSent := make([]model.PacketID, p.Cores)
+	prevRecv := make([]model.PacketID, p.Cores)
+	for i := range prevSent {
+		prevSent[i], prevRecv[i] = -1, -1
+	}
+	for phase := 0; len(g.Packets) < p.Packets; phase++ {
+		perm := derangement(rng, p.Cores)
+		sent := make([]model.PacketID, p.Cores)
+		for i := range sent {
+			sent[i] = -1
+		}
+		for c := 0; c < p.Cores && len(g.Packets) < p.Packets; c++ {
+			id := model.PacketID(len(g.Packets))
+			dst := perm[c]
+			if p.HotspotBias > 0 && rng.Float64() < p.HotspotBias && c != 0 {
+				dst = 0 // designated hotspot core
+			}
+			g.Packets = append(g.Packets, model.Packet{
+				ID: id, Src: model.CoreID(c), Dst: model.CoreID(dst),
+				Compute: compute(), Bits: 1,
+			})
+			if prevSent[c] >= 0 {
+				g.Deps = append(g.Deps, model.Dep{From: prevSent[c], To: id})
+			}
+			if prevRecv[c] >= 0 && prevRecv[c] != prevSent[c] {
+				g.Deps = append(g.Deps, model.Dep{From: prevRecv[c], To: id})
+			}
+			sent[c] = id
+		}
+		for c := 0; c < p.Cores; c++ {
+			if sent[c] >= 0 {
+				prevSent[c] = sent[c]
+				prevRecv[perm[c]] = sent[c]
+			}
+		}
+	}
+}
+
+// derangement draws a permutation of n elements with no fixed points (so
+// no core sends to itself). For n >= 2 a few rejection rounds suffice.
+func derangement(rng *rand.Rand, n int) []int {
+	for {
+		perm := rng.Perm(n)
+		ok := true
+		for i, v := range perm {
+			if i == v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return perm
+		}
+	}
+}
+
+func computeFn(p Params, rng *rand.Rand) func() int64 {
+	return func() int64 {
+		if p.ComputeMax == p.ComputeMin {
+			return p.ComputeMin
+		}
+		return p.ComputeMin + rng.Int63n(p.ComputeMax-p.ComputeMin+1)
+	}
+}
+
+// buildChains constructs the ModeChains dependence structure.
+func buildChains(g *model.CDCG, p Params, rng *rand.Rand, chains int, cross float64) {
+	// Guarantee every core is used: hand cores out from a shuffled
+	// round-robin queue until all have appeared at least once.
+	pending := rng.Perm(p.Cores)
+	nextCore := func(avoid model.CoreID) model.CoreID {
+		for i, c := range pending {
+			if model.CoreID(c) != avoid {
+				pending = append(pending[:i], pending[i+1:]...)
+				return model.CoreID(c)
+			}
+		}
+		c := model.CoreID(rng.Intn(p.Cores))
+		for c == avoid {
+			c = model.CoreID(rng.Intn(p.Cores))
+		}
+		return c
+	}
+
+	hotspot := model.CoreID(rng.Intn(p.Cores))
+	chainTail := make([]model.PacketID, 0, chains) // last packet per chain
+	tailDst := make([]model.CoreID, 0, chains)     // its destination core
+	compute := computeFn(p, rng)
+
+	for i := 0; i < p.Packets; i++ {
+		id := model.PacketID(i)
+		var src model.CoreID
+		var deps []model.PacketID
+		if i < chains {
+			// New chain root: depends only on Start.
+			src = nextCore(-1)
+		} else {
+			// Extend a uniformly chosen chain: the consumer of the tail
+			// packet computes and forwards.
+			ci := rng.Intn(len(chainTail))
+			src = tailDst[ci]
+			deps = append(deps, chainTail[ci])
+			if len(chainTail) > 1 && rng.Float64() < cross {
+				cj := rng.Intn(len(chainTail))
+				if cj != ci && chainTail[cj] != deps[0] {
+					deps = append(deps, chainTail[cj])
+				}
+			}
+		}
+		var dst model.CoreID
+		if p.HotspotBias > 0 && rng.Float64() < p.HotspotBias && hotspot != src {
+			dst = hotspot
+		} else {
+			dst = nextCore(src)
+		}
+		g.Packets = append(g.Packets, model.Packet{
+			ID: id, Src: src, Dst: dst, Compute: compute(), Bits: 1,
+		})
+		for _, d := range deps {
+			g.Deps = append(g.Deps, model.Dep{From: d, To: id})
+		}
+		if i < chains {
+			chainTail = append(chainTail, id)
+			tailDst = append(tailDst, dst)
+		} else {
+			// Replace the extended chain's tail (deps[0] is that tail).
+			for ci := range chainTail {
+				if chainTail[ci] == deps[0] {
+					chainTail[ci] = id
+					tailDst[ci] = dst
+					break
+				}
+			}
+		}
+	}
+}
+
+// ScaleVolumes distributes total bits over len(weights) packets
+// proportionally to the weights, with every packet receiving at least one
+// bit and the sum landing on total exactly. Deterministic.
+func ScaleVolumes(weights []float64, total int64) []int64 {
+	n := len(weights)
+	if n == 0 {
+		return nil
+	}
+	var sumW float64
+	for _, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		sumW += w
+	}
+	out := make([]int64, n)
+	if sumW <= 0 {
+		// Uniform fallback.
+		var s int64
+		for i := range out {
+			out[i] = total / int64(n)
+			s += out[i]
+		}
+		out[0] += total - s
+	} else {
+		type frac struct {
+			i int
+			f float64
+		}
+		fracs := make([]frac, n)
+		var assigned int64
+		for i, w := range weights {
+			if w < 0 {
+				w = 0
+			}
+			exact := float64(total) * w / sumW
+			fl := int64(exact)
+			out[i] = fl
+			fracs[i] = frac{i, exact - float64(fl)}
+			assigned += fl
+		}
+		// Hand the remainder to the largest fractional parts.
+		sort.Slice(fracs, func(a, b int) bool {
+			if fracs[a].f != fracs[b].f {
+				return fracs[a].f > fracs[b].f
+			}
+			return fracs[a].i < fracs[b].i
+		})
+		for r := int64(0); r < total-assigned; r++ {
+			out[fracs[int(r)%n].i]++
+		}
+	}
+	// Enforce the >=1 floor by stealing from the largest entries.
+	for i := range out {
+		if out[i] >= 1 {
+			continue
+		}
+		need := 1 - out[i]
+		big := 0
+		for j := range out {
+			if out[j] > out[big] {
+				big = j
+			}
+		}
+		if out[big] <= need {
+			continue // degenerate: total too small, validated upstream
+		}
+		out[big] -= need
+		out[i] = 1
+	}
+	return out
+}

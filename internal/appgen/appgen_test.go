@@ -1,0 +1,219 @@
+package appgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestGenerateExactTargets(t *testing.T) {
+	cases := []struct {
+		cores, packets int
+		bits           int64
+	}{
+		{5, 43, 78817},
+		{6, 17, 174},
+		{8, 18, 5930},
+		{62, 344, 9799200},
+		{99, 446, 680006120},
+		{2, 1, 100},
+	}
+	for _, tc := range cases {
+		g, err := Generate(Params{
+			Name: "t", Cores: tc.cores, Packets: tc.packets,
+			TotalBits: tc.bits, Seed: 42,
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if g.NumCores() != tc.cores {
+			t.Errorf("%+v: cores = %d", tc, g.NumCores())
+		}
+		if g.NumPackets() != tc.packets {
+			t.Errorf("%+v: packets = %d", tc, g.NumPackets())
+		}
+		if g.TotalBits() != tc.bits {
+			t.Errorf("%+v: bits = %d", tc, g.TotalBits())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%+v: invalid: %v", tc, err)
+		}
+	}
+}
+
+func TestGenerateAllCoresUsed(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		g, err := Generate(Params{Cores: 12, Packets: 25, TotalBits: 2578920, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := make(map[model.CoreID]bool)
+		for _, p := range g.Packets {
+			used[p.Src] = true
+			used[p.Dst] = true
+		}
+		if len(used) != 12 {
+			t.Fatalf("seed %d: only %d/12 cores used", seed, len(used))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{Cores: 9, Packets: 51, TotalBits: 23244, Seed: 7}
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Packets) != len(b.Packets) || len(a.Deps) != len(b.Deps) {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			t.Fatalf("packet %d differs: %+v vs %+v", i, a.Packets[i], b.Packets[i])
+		}
+	}
+	c, err := Generate(Params{Cores: 9, Packets: 51, TotalBits: 23244, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Packets {
+		if a.Packets[i] != c.Packets[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical benchmarks")
+	}
+}
+
+func TestGenerateHasParallelChains(t *testing.T) {
+	g, err := Generate(Params{Cores: 10, Packets: 60, TotalBits: 100000, Seed: 3, Chains: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, err := g.StartPackets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) != 5 {
+		t.Fatalf("chain roots = %d, want 5", len(starts))
+	}
+}
+
+func TestGenerateHotspot(t *testing.T) {
+	g, err := Generate(Params{Cores: 8, Packets: 200, TotalBits: 40000, Seed: 9, HotspotBias: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[model.CoreID]int{}
+	for _, p := range g.Packets {
+		counts[p.Dst]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// With 60% bias one destination must dominate clearly: an unbiased
+	// spread over 8 cores would put ~25 packets on each.
+	if max < 60 {
+		t.Fatalf("hotspot max dst count = %d, want >= 60", max)
+	}
+}
+
+func TestGenerateRejections(t *testing.T) {
+	bad := []Params{
+		{Cores: 1, Packets: 5, TotalBits: 100},
+		{Cores: 4, Packets: 0, TotalBits: 100},
+		{Cores: 4, Packets: 10, TotalBits: 5},
+		{Cores: 4, Packets: 10, TotalBits: 100, HotspotBias: 1.0},
+		{Cores: 4, Packets: 10, TotalBits: 100, ComputeMin: 5, ComputeMax: 1},
+		{Cores: 4, Packets: 10, TotalBits: 100, ComputeMin: -1, ComputeMax: 2},
+	}
+	for i, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestScaleVolumesExact(t *testing.T) {
+	cases := []struct {
+		weights []float64
+		total   int64
+	}{
+		{[]float64{1, 1, 1}, 10},
+		{[]float64{1, 2, 3, 4}, 174},
+		{[]float64{0.001, 1000}, 50},
+		{[]float64{5}, 7},
+		{[]float64{0, 0, 0}, 9},
+		{[]float64{1, 1e-9, 1e-9}, 3},
+	}
+	for _, tc := range cases {
+		vols := ScaleVolumes(tc.weights, tc.total)
+		var sum int64
+		for _, v := range vols {
+			if v < 1 {
+				t.Fatalf("weights %v: volume %d below floor", tc.weights, v)
+			}
+			sum += v
+		}
+		if sum != tc.total {
+			t.Fatalf("weights %v: sum %d, want %d", tc.weights, sum, tc.total)
+		}
+	}
+	if ScaleVolumes(nil, 5) != nil {
+		t.Fatal("empty weights should give nil")
+	}
+}
+
+func TestQuickScaleVolumesInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64() * 100
+		}
+		total := int64(n) + rng.Int63n(1_000_000)
+		vols := ScaleVolumes(weights, total)
+		var sum int64
+		for _, v := range vols {
+			if v < 1 {
+				return false
+			}
+			sum += v
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGeneratedGraphsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cores := 2 + rng.Intn(20)
+		packets := 1 + rng.Intn(100)
+		bits := int64(packets) + rng.Int63n(1_000_000)
+		g, err := Generate(Params{Cores: cores, Packets: packets, TotalBits: bits, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil &&
+			g.NumPackets() == packets && g.TotalBits() == bits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

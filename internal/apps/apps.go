@@ -1,0 +1,373 @@
+// Package apps models the paper's four embedded applications as CDCGs:
+// a distributed Romberg integration, an 8-point FFT, an object-recognition
+// pipeline and an image encoder (Section 5 lists these, with variations,
+// as 8 of the 18 workloads). The authors never released the applications
+// themselves; what the mapping problem consumes is only each application's
+// CDCG, so we rebuild the graphs from the algorithms' published dataflow
+// and scale packet volumes to the aggregate characteristics of Table 1
+// (exact core count, packet count and total bit volume).
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/appgen"
+	"repro/internal/model"
+)
+
+// spec is a packet under construction: volumes start as relative weights
+// and are scaled to the target total at build time.
+type spec struct {
+	src, dst model.CoreID
+	compute  int64
+	weight   float64
+	label    string
+	deps     []model.PacketID
+}
+
+// builder accumulates specs; packets only ever depend on earlier packets,
+// so truncating to a prefix always yields a valid CDCG.
+type builder struct {
+	cores []model.Core
+	specs []spec
+}
+
+func (b *builder) add(s spec) model.PacketID {
+	id := model.PacketID(len(b.specs))
+	b.specs = append(b.specs, s)
+	return id
+}
+
+// build truncates to exactly `packets` packets, scales weights to exactly
+// totalBits, and validates the result.
+func (b *builder) build(name string, packets int, totalBits int64) (*model.CDCG, error) {
+	if packets <= 0 || packets > len(b.specs) {
+		return nil, fmt.Errorf("apps: %s generated %d packets, cannot deliver %d", name, len(b.specs), packets)
+	}
+	specs := b.specs[:packets]
+	weights := make([]float64, packets)
+	for i, s := range specs {
+		weights[i] = s.weight
+	}
+	vols := appgen.ScaleVolumes(weights, totalBits)
+	g := &model.CDCG{Name: name, Cores: b.cores}
+	for i, s := range specs {
+		g.Packets = append(g.Packets, model.Packet{
+			ID: model.PacketID(i), Src: s.src, Dst: s.dst,
+			Compute: s.compute, Bits: vols[i], Label: s.label,
+		})
+		for _, d := range s.deps {
+			g.Deps = append(g.Deps, model.Dep{From: d, To: model.PacketID(i)})
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("apps: %s: %w", name, err)
+	}
+	return g, nil
+}
+
+// Romberg builds a distributed Romberg integration over a binary
+// scatter/reduce tree: each refinement round the current sub-interval
+// table is scattered down a binary tree rooted at core 0 (every inner
+// node forwards the halves its subtree integrates), the leaves and inner
+// nodes compute their trapezoid sums, and partial sums are combined
+// pairwise back up the tree — the log-depth reduction any efficient
+// distributed quadrature uses. The next round's scatter (Richardson
+// extrapolation at the root) depends on the completed reduction: a global
+// barrier per round. Core 0 is the root; the tree is the implicit
+// heap-shaped binary tree over cores 0..workers. Rounds are generated
+// until at least `packets` packets exist, then truncated; volumes scale
+// to totalBits.
+func Romberg(workers, packets int, totalBits int64) (*model.CDCG, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("apps: romberg needs >=1 worker, got %d", workers)
+	}
+	n := workers + 1
+	names := []string{"root"}
+	for w := 1; w <= workers; w++ {
+		names = append(names, fmt.Sprintf("worker%d", w))
+	}
+	b := &builder{cores: model.MakeCores(n, names...)}
+
+	var barrier []model.PacketID // previous round's reduces into the root
+	for round := 0; len(b.specs) < packets; round++ {
+		// Scatter wave: node i forwards interval halves to children
+		// 2i+1, 2i+2 once it received its own share.
+		scatterIn := make([]model.PacketID, n) // packet delivering node i's share
+		for i := range scatterIn {
+			scatterIn[i] = -1
+		}
+		for i := 0; i < n; i++ {
+			for _, ch := range []int{2*i + 1, 2*i + 2} {
+				if ch >= n {
+					continue
+				}
+				var deps []model.PacketID
+				if scatterIn[i] >= 0 {
+					deps = append(deps, scatterIn[i])
+				} else {
+					deps = append(deps, barrier...) // extrapolation barrier
+				}
+				scatterIn[ch] = b.add(spec{
+					src: model.CoreID(i), dst: model.CoreID(ch),
+					compute: 20, // split bounds, forward
+					weight:  0.5,
+					label:   fmt.Sprintf("scatter[r%d,%d->%d]", round, i, ch),
+					deps:    deps,
+				})
+			}
+		}
+		// Reduce wave: every non-root node integrates its sub-interval
+		// and sends the partial sum to its parent; a parent's combine
+		// waits for both children (and its own share).
+		reduceOut := make([]model.PacketID, n) // partial sum sent by node i
+		for i := range reduceOut {
+			reduceOut[i] = -1
+		}
+		for i := n - 1; i >= 1; i-- {
+			parent := (i - 1) / 2
+			deps := []model.PacketID{}
+			if scatterIn[i] >= 0 {
+				deps = append(deps, scatterIn[i])
+			}
+			for _, ch := range []int{2*i + 1, 2*i + 2} {
+				if ch < n && reduceOut[ch] >= 0 {
+					deps = append(deps, reduceOut[ch])
+				}
+			}
+			reduceOut[i] = b.add(spec{
+				src: model.CoreID(i), dst: model.CoreID(parent),
+				compute: 120, // trapezoid sums over the sub-interval
+				weight:  1.0,
+				label:   fmt.Sprintf("reduce[r%d,%d->%d]", round, i, parent),
+				deps:    deps,
+			})
+		}
+		// The root's round completes when all its children reported.
+		barrier = barrier[:0]
+		for _, ch := range []int{1, 2} {
+			if ch < n && reduceOut[ch] >= 0 {
+				barrier = append(barrier, reduceOut[ch])
+			}
+		}
+	}
+	return b.build(fmt.Sprintf("romberg-w%d", workers), packets, totalBits)
+}
+
+// FFT8 builds the 8-point radix-2 FFT: one core per point, three butterfly
+// stages with partner distances 4, 2, 1. At stage s every core sends its
+// intermediate value to its butterfly partner; the stage-s send of core c
+// depends on the value c received in stage s-1 and on c's own previous
+// send (per-core program order). With gather=true a ninth core collects
+// the eight results in a final stage (the paper's FFT "variation").
+func FFT8(gather bool, packets int, totalBits int64) (*model.CDCG, error) {
+	const points = 8
+	n := points
+	names := make([]string, points, points+1)
+	for i := range names {
+		names[i] = fmt.Sprintf("pt%d", i)
+	}
+	if gather {
+		n++
+		names = append(names, "collector")
+	}
+	b := &builder{cores: model.MakeCores(n, names...)}
+
+	var prev [points]model.PacketID // last packet sent by each core
+	var recv [points]model.PacketID // last packet received by each core
+	for i := range prev {
+		prev[i], recv[i] = -1, -1
+	}
+	for stage := 0; stage < 3; stage++ {
+		dist := 4 >> stage
+		var sent [points]model.PacketID
+		for c := 0; c < points; c++ {
+			partner := c ^ dist
+			var deps []model.PacketID
+			if recv[c] >= 0 {
+				deps = append(deps, recv[c])
+			}
+			if prev[c] >= 0 && prev[c] != recv[c] {
+				deps = append(deps, prev[c])
+			}
+			sent[c] = b.add(spec{
+				src: model.CoreID(c), dst: model.CoreID(partner),
+				compute: 16, // one complex butterfly + twiddle multiply
+				weight:  1.0,
+				label:   fmt.Sprintf("bfly[s%d,%d->%d]", stage, c, partner),
+				deps:    deps,
+			})
+		}
+		for c := 0; c < points; c++ {
+			prev[c] = sent[c]
+			recv[c] = sent[c^dist] // the packet the partner sent to c
+		}
+	}
+	if gather {
+		for c := 0; c < points; c++ {
+			b.add(spec{
+				src: model.CoreID(c), dst: model.CoreID(points),
+				compute: 8,
+				weight:  0.5,
+				label:   fmt.Sprintf("gather[%d]", c),
+				deps:    []model.PacketID{recv[c], prev[c]},
+			})
+		}
+	}
+	name := "fft8"
+	if gather {
+		name = "fft8-gather"
+	}
+	return b.build(name, packets, totalBits)
+}
+
+// ObjRecognition builds a frame-streaming object-recognition pipeline:
+// camera → preprocessing → segmentation → parallel feature extractors →
+// classifier → display. With cores >= 6; extractors = max(1, cores-5).
+// Consecutive frames pipeline (each stage depends on its previous frame's
+// packet), which is what creates mapping-sensitive link contention.
+// Frames are generated until `packets` is reached, then truncated.
+func ObjRecognition(cores, packets int, totalBits int64) (*model.CDCG, error) {
+	if cores < 6 {
+		return nil, fmt.Errorf("apps: object recognition needs >=6 cores, got %d", cores)
+	}
+	ext := cores - 5
+	names := []string{"camera", "preproc", "segment"}
+	for e := 0; e < ext; e++ {
+		names = append(names, fmt.Sprintf("feature%d", e))
+	}
+	names = append(names, "classify", "display")
+	b := &builder{cores: model.MakeCores(cores, names...)}
+	cam, pre, seg := model.CoreID(0), model.CoreID(1), model.CoreID(2)
+	clas, disp := model.CoreID(cores-2), model.CoreID(cores-1)
+
+	// prevStage[i] is the previous frame's packet produced by stage i, so
+	// each stage serialises across frames (it is one physical core).
+	var prevCapture, prevSeg, prevOut model.PacketID = -1, -1, -1
+	prevFeat := make([]model.PacketID, ext)
+	for i := range prevFeat {
+		prevFeat[i] = -1
+	}
+	dep := func(ids ...model.PacketID) []model.PacketID {
+		var out []model.PacketID
+		for _, id := range ids {
+			if id >= 0 {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	for frame := 0; len(b.specs) < packets; frame++ {
+		capture := b.add(spec{src: cam, dst: pre, compute: 40,
+			weight: 1.0, label: fmt.Sprintf("frame[%d]", frame),
+			deps: dep(prevCapture)})
+		segIn := b.add(spec{src: pre, dst: seg, compute: 150,
+			weight: 0.8, label: fmt.Sprintf("preproc[%d]", frame),
+			deps: dep(capture)})
+		regions := make([]model.PacketID, ext)
+		for e := 0; e < ext; e++ {
+			regions[e] = b.add(spec{src: seg, dst: model.CoreID(3 + e), compute: 90,
+				weight: 0.35, label: fmt.Sprintf("region[%d,%d]", frame, e),
+				deps: dep(segIn, prevSeg)})
+		}
+		// Adjacent extractors work on overlapping image regions and
+		// exchange the shared boundary strips before feature fusion.
+		bounds := make([]model.PacketID, ext)
+		for e := range bounds {
+			bounds[e] = -1
+		}
+		if ext >= 2 {
+			for e := 0; e < ext; e++ {
+				bounds[e] = b.add(spec{
+					src: model.CoreID(3 + e), dst: model.CoreID(3 + (e+1)%ext),
+					compute: 45,
+					weight:  0.3, label: fmt.Sprintf("bound[%d,%d->%d]", frame, e, (e+1)%ext),
+					deps: dep(regions[e]),
+				})
+			}
+		}
+		var feats []model.PacketID
+		for e := 0; e < ext; e++ {
+			recvBound := model.PacketID(-1)
+			if ext >= 2 {
+				recvBound = bounds[(e+ext-1)%ext]
+			}
+			c := b.add(spec{src: model.CoreID(3 + e), dst: clas, compute: 200,
+				weight: 0.08, label: fmt.Sprintf("feat[%d,%d]", frame, e),
+				deps: dep(regions[e], recvBound, prevFeat[e])})
+			feats = append(feats, c)
+			prevFeat[e] = c
+		}
+		out := b.add(spec{src: clas, dst: disp, compute: 60,
+			weight: 0.02, label: fmt.Sprintf("verdict[%d]", frame),
+			deps: append(dep(prevOut), feats...)})
+		prevCapture, prevSeg, prevOut = capture, segIn, out
+	}
+	return b.build(fmt.Sprintf("objrec-c%d", cores), packets, totalBits)
+}
+
+// ImageEncoder builds a block-parallel image encoder: a distributor
+// scatters raw macroblock batches to worker cores (DCT + quantisation +
+// entropy coding), each worker exchanges reconstructed boundary pixels
+// with its ring neighbour (motion-estimation reference data), and the
+// workers stream compressed blocks to a collector. Batches pipeline: the
+// distributor serialises its scatters, each worker serialises its own
+// batches. Core 0 distributes, core cores-1 collects. The symmetric
+// worker↔worker exchange traffic gives the application many equal-volume
+// flows — the placement-tie-rich regime where a volume-only mapper is
+// blind to timing.
+func ImageEncoder(cores, packets int, totalBits int64) (*model.CDCG, error) {
+	if cores < 4 {
+		return nil, fmt.Errorf("apps: image encoder needs >=4 cores, got %d", cores)
+	}
+	workers := cores - 2
+	names := []string{"distrib"}
+	for w := 0; w < workers; w++ {
+		names = append(names, fmt.Sprintf("enc%d", w))
+	}
+	names = append(names, "collect")
+	b := &builder{cores: model.MakeCores(cores, names...)}
+	dist, coll := model.CoreID(0), model.CoreID(cores-1)
+	worker := func(w int) model.CoreID { return model.CoreID(1 + w%workers) }
+
+	prevScatter := make([]model.PacketID, workers)
+	prevEmit := make([]model.PacketID, workers)
+	for i := range prevScatter {
+		prevScatter[i], prevEmit[i] = -1, -1
+	}
+	for batch := 0; len(b.specs) < packets; batch++ {
+		scatters := make([]model.PacketID, workers)
+		for w := 0; w < workers; w++ {
+			var sdeps []model.PacketID
+			if prevScatter[w] >= 0 {
+				sdeps = append(sdeps, prevScatter[w])
+			}
+			scatters[w] = b.add(spec{src: dist, dst: worker(w), compute: 12,
+				weight: 1.0, label: fmt.Sprintf("raw[b%d,w%d]", batch, w),
+				deps: sdeps})
+			prevScatter[w] = scatters[w]
+		}
+		refs := make([]model.PacketID, workers)
+		for w := 0; w < workers; w++ {
+			// Reconstructed boundary pixels to the ring neighbour: the
+			// reference data its motion search needs.
+			refs[w] = b.add(spec{src: worker(w), dst: worker(w + 1), compute: 140,
+				weight: 0.8, label: fmt.Sprintf("ref[b%d,%d->%d]", batch, w, (w+1)%workers),
+				deps: []model.PacketID{scatters[w]}})
+		}
+		for w := 0; w < workers; w++ {
+			// Entropy-coded output after DCT+quant, which needs the
+			// neighbour's reference block as well as this worker's raw
+			// data.
+			edeps := []model.PacketID{scatters[w], refs[(w+workers-1)%workers]}
+			if prevEmit[w] >= 0 {
+				edeps = append(edeps, prevEmit[w])
+			}
+			em := b.add(spec{src: worker(w), dst: coll, compute: 260,
+				weight: 0.15, label: fmt.Sprintf("coded[b%d,w%d]", batch, w),
+				deps: edeps})
+			prevEmit[w] = em
+		}
+	}
+	return b.build(fmt.Sprintf("imgenc-c%d", cores), packets, totalBits)
+}

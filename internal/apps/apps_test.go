@@ -1,0 +1,282 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// checkApp asserts the Table-1 aggregate characteristics hold exactly.
+func checkApp(t *testing.T, g *model.CDCG, err error, cores, packets int, bits int64) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s invalid: %v", g.Name, err)
+	}
+	if g.NumCores() != cores {
+		t.Errorf("%s: cores = %d, want %d", g.Name, g.NumCores(), cores)
+	}
+	if g.NumPackets() != packets {
+		t.Errorf("%s: packets = %d, want %d", g.Name, g.NumPackets(), packets)
+	}
+	if g.TotalBits() != bits {
+		t.Errorf("%s: bits = %d, want %d", g.Name, g.TotalBits(), bits)
+	}
+	used := map[model.CoreID]bool{}
+	for _, p := range g.Packets {
+		used[p.Src] = true
+		used[p.Dst] = true
+	}
+	if len(used) != cores {
+		t.Errorf("%s: only %d/%d cores used", g.Name, len(used), cores)
+	}
+}
+
+// The eight embedded instances of the Table-1 suite.
+func TestRombergSmall(t *testing.T) {
+	g, err := Romberg(4, 43, 78817)
+	checkApp(t, g, err, 5, 43, 78817)
+}
+
+func TestRombergLarge(t *testing.T) {
+	g, err := Romberg(8, 51, 23244)
+	checkApp(t, g, err, 9, 51, 23244)
+}
+
+func TestFFT8Plain(t *testing.T) {
+	g, err := FFT8(false, 24, 2215)
+	checkApp(t, g, err, 8, 24, 2215)
+}
+
+func TestFFT8Gather(t *testing.T) {
+	g, err := FFT8(true, 32, 43120)
+	checkApp(t, g, err, 9, 32, 43120)
+}
+
+func TestObjRecStream(t *testing.T) {
+	g, err := ObjRecognition(6, 43, 49003)
+	checkApp(t, g, err, 6, 43, 49003)
+}
+
+func TestObjRecWide(t *testing.T) {
+	g, err := ObjRecognition(10, 22, 322221)
+	checkApp(t, g, err, 10, 22, 322221)
+}
+
+func TestImageEncoderHD(t *testing.T) {
+	g, err := ImageEncoder(12, 25, 2578920)
+	checkApp(t, g, err, 12, 25, 2578920)
+}
+
+func TestImageEncoderParallel(t *testing.T) {
+	g, err := ImageEncoder(12, 88, 115778)
+	checkApp(t, g, err, 12, 88, 115778)
+}
+
+func TestRombergBarrierStructure(t *testing.T) {
+	g, err := Romberg(4, 16, 1600) // 5 nodes: exactly two full rounds
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := g.DepGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round layout (heap tree over nodes 0..4): scatters 0->1, 0->2,
+	// 1->3, 1->4 (packets 0..3), reduces 4->1, 3->1, 2->0, 1->0
+	// (packets 4..7). Only the root's round-0 scatters are graph roots.
+	starts, _ := g.StartPackets()
+	if len(starts) != 2 || starts[0] != 0 || starts[1] != 1 {
+		t.Errorf("roots = %v, want the root's two scatters", starts)
+	}
+	// Node 1's combine (packet 7, 1->0) waits for its own share and both
+	// children's partial sums.
+	if got := dg.InDegree(7); got != 3 {
+		t.Errorf("inner combine in-degree = %d, want 3", got)
+	}
+	// Round-1 root scatters (packets 8, 9) wait on the previous round's
+	// reduces into the root — the Richardson extrapolation barrier.
+	for _, a := range []int{8, 9} {
+		if got := dg.InDegree(a); got != 2 {
+			t.Errorf("round-1 scatter %d in-degree = %d, want 2", a, got)
+		}
+	}
+	// The tree uses parent<->child links only.
+	for _, p := range g.Packets {
+		lo, hi := int(p.Src), int(p.Dst)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi != 2*lo+1 && hi != 2*lo+2 {
+			t.Errorf("packet %+v is not a tree edge", p)
+		}
+	}
+}
+
+func TestFFT8ButterflyStructure(t *testing.T) {
+	g, err := FFT8(false, 24, 2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 0: core c sends to c^4.
+	for c := 0; c < 8; c++ {
+		p := g.Packets[c]
+		if int(p.Src) != c || int(p.Dst) != c^4 {
+			t.Errorf("stage0 packet %d: %d->%d, want %d->%d", c, p.Src, p.Dst, c, c^4)
+		}
+	}
+	// Stage 1: distance 2; stage 2: distance 1.
+	for c := 0; c < 8; c++ {
+		if int(g.Packets[8+c].Dst) != c^2 {
+			t.Errorf("stage1 packet of core %d goes to %d, want %d", c, g.Packets[8+c].Dst, c^2)
+		}
+		if int(g.Packets[16+c].Dst) != c^1 {
+			t.Errorf("stage2 packet of core %d goes to %d, want %d", c, g.Packets[16+c].Dst, c^1)
+		}
+	}
+	// All 8 stage-0 packets are roots; everything later depends on them.
+	starts, _ := g.StartPackets()
+	if len(starts) != 8 {
+		t.Errorf("roots = %d, want 8", len(starts))
+	}
+	// Dependence chain depth: lower bound on texec is 3 stages of compute.
+	lb, err := g.ComputeLowerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 3*16 {
+		t.Errorf("compute lower bound = %d, want 48", lb)
+	}
+}
+
+func TestFFT8GatherDepth(t *testing.T) {
+	g, err := FFT8(true, 32, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := g.ComputeLowerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 3*16+8 {
+		t.Errorf("gather lower bound = %d, want 56", lb)
+	}
+}
+
+func TestObjRecPipelineStructure(t *testing.T) {
+	g, err := ObjRecognition(7, 20, 5000) // 2 extractors, 9 packets/frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packet 0 is camera->preproc; the second frame's capture depends on
+	// the first frame's (camera serialisation).
+	if g.Packets[0].Src != 0 || g.Packets[0].Dst != 1 {
+		t.Fatalf("packet 0 = %+v", g.Packets[0])
+	}
+	dg, _ := g.DepGraph()
+	// Frame layout: capture(0), segIn(1), regions(2,3), boundary
+	// exchange(4,5), feats(6,7), verdict(8). Frame 1 starts at packet 9.
+	if got := dg.InDegree(9); got != 1 {
+		t.Errorf("frame-1 capture in-degree = %d, want 1", got)
+	}
+	// Boundary packets move between the two extractor cores (3 and 4).
+	for _, i := range []int{4, 5} {
+		p := g.Packets[i]
+		if (p.Src != 3 || p.Dst != 4) && (p.Src != 4 || p.Dst != 3) {
+			t.Errorf("boundary packet %d = %+v, want extractor exchange", i, p)
+		}
+	}
+	// A feature packet waits for its region and the neighbour's boundary.
+	if got := dg.InDegree(6); got != 2 {
+		t.Errorf("feat in-degree = %d, want 2", got)
+	}
+	// The classifier verdict of frame 0 (packet 8) depends on both
+	// feature packets.
+	if got := dg.InDegree(8); got != 2 {
+		t.Errorf("verdict in-degree = %d, want 2", got)
+	}
+}
+
+func TestImageEncoderForkJoin(t *testing.T) {
+	g, err := ImageEncoder(5, 18, 4000) // 3 workers, 9 packets/batch
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch layout: scatters 0..2 (0->w), refs 3..5 (w->w+1 ring),
+	// emissions 6..8 (w->collector).
+	for i := 0; i < 3; i++ {
+		if g.Packets[i].Src != 0 {
+			t.Errorf("scatter %d src = %d, want distributor", i, g.Packets[i].Src)
+		}
+		if g.Packets[6+i].Dst != 4 {
+			t.Errorf("emission %d dst = %d, want collector", 6+i, g.Packets[6+i].Dst)
+		}
+	}
+	// The ring exchange is symmetric worker-to-worker traffic.
+	ring := map[[2]model.CoreID]bool{}
+	for i := 3; i < 6; i++ {
+		p := g.Packets[i]
+		if p.Src == 0 || p.Dst == 4 {
+			t.Errorf("ref packet %d touches hub: %+v", i, p)
+		}
+		ring[[2]model.CoreID{p.Src, p.Dst}] = true
+	}
+	if len(ring) != 3 {
+		t.Errorf("ring exchanges = %d, want 3 distinct", len(ring))
+	}
+	dg, _ := g.DepGraph()
+	// Batch-1 scatter to worker 0 (packet 9) depends on batch-0 scatter.
+	if got := dg.InDegree(9); got != 1 {
+		t.Errorf("batch-1 scatter in-degree = %d, want 1", got)
+	}
+	// An emission needs its raw data, the neighbour's reference and (from
+	// batch 1 on) the previous emission.
+	if got := dg.InDegree(6); got != 2 {
+		t.Errorf("emission in-degree = %d, want 2", got)
+	}
+}
+
+func TestBuildersRejectBadParams(t *testing.T) {
+	if _, err := Romberg(0, 10, 100); err == nil {
+		t.Error("romberg with 0 workers accepted")
+	}
+	if _, err := ObjRecognition(4, 10, 100); err == nil {
+		t.Error("objrec with 4 cores accepted")
+	}
+	if _, err := ImageEncoder(2, 10, 100); err == nil {
+		t.Error("imgenc with 2 cores accepted")
+	}
+	if _, err := FFT8(false, 99, 9900); err == nil {
+		t.Error("fft8 cannot deliver 99 packets but accepted")
+	}
+	if _, err := FFT8(false, 0, 100); err == nil {
+		t.Error("zero packets accepted")
+	}
+}
+
+func TestTruncationKeepsValidity(t *testing.T) {
+	// Odd packet counts force mid-round truncation everywhere.
+	for p := 5; p <= 40; p += 7 {
+		g, err := Romberg(4, p, int64(p)*100)
+		if err != nil {
+			t.Fatalf("romberg %d: %v", p, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("romberg %d invalid: %v", p, err)
+		}
+		if g.NumPackets() != p {
+			t.Fatalf("romberg %d: packets %d", p, g.NumPackets())
+		}
+	}
+	for p := 7; p <= 22; p += 5 {
+		g, err := ObjRecognition(8, p, int64(p)*50)
+		if err != nil {
+			t.Fatalf("objrec %d: %v", p, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("objrec %d invalid: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package core implements the paper's primary contribution: the FRW
+// mapping-exploration framework with its two application models —
+//
+//   - CWM, the communication weighted model of the prior art (Hu/
+//     Marculescu, Murali/De Micheli): prices a mapping by dynamic energy
+//     alone (equation (3)), blind to timing;
+//   - CDCM, the communication dependence and computation model introduced
+//     by the paper: executes the application's CDCG on the mapped NoC with
+//     the wormhole simulator, obtains the execution time texec including
+//     contention, and prices the mapping by total energy
+//     ENoC = EStNoC + EDyNoC (equation (10)).
+//
+// Both models plug into the search engines of package search, and
+// CompareModels runs the paper's Table-2 protocol: explore under each
+// model, then price both winners with the CDCM simulator to report the
+// execution-time reduction (ETR) and energy-consumption savings (ECS).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/noc"
+	"repro/internal/topology"
+	"repro/internal/wormhole"
+)
+
+// CWM is the communication weighted model evaluator. Its objective is
+// EDyNoC of equation (3): each communication contributes
+// w_ab × (K·ERbit + (K−1)·ELbit + 2·ECbit) where K is the router count of
+// the XY route between the mapped tiles. CWM carries no timing
+// information, so it cannot price static energy — the paper's central
+// criticism.
+type CWM struct {
+	Mesh *topology.Mesh
+	Cfg  noc.Config
+	Tech energy.Tech
+	G    *model.CWG
+
+	kCache []int16 // routers per (srcTile, dstTile) pair, lazily filled
+}
+
+// NewCWM validates the inputs and builds the evaluator.
+func NewCWM(mesh *topology.Mesh, cfg noc.Config, tech energy.Tech, g *model.CWG) (*CWM, error) {
+	if mesh == nil {
+		return nil, errors.New("core: nil mesh")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumCores() > mesh.NumTiles() {
+		return nil, fmt.Errorf("core: %d cores exceed %d tiles", g.NumCores(), mesh.NumTiles())
+	}
+	return &CWM{Mesh: mesh, Cfg: cfg, Tech: tech, G: g,
+		kCache: make([]int16, mesh.NumTiles()*mesh.NumTiles())}, nil
+}
+
+// routers returns K for a tile pair, caching the route length.
+func (c *CWM) routers(src, dst topology.TileID) (int, error) {
+	idx := int(src)*c.Mesh.NumTiles() + int(dst)
+	if k := c.kCache[idx]; k > 0 {
+		return int(k), nil
+	}
+	r, err := c.Mesh.Route(c.Cfg.Routing, src, dst)
+	if err != nil {
+		return 0, err
+	}
+	c.kCache[idx] = int16(r.K())
+	return r.K(), nil
+}
+
+// Cost implements search.Objective: EDyNoC in joules.
+func (c *CWM) Cost(mp mapping.Mapping) (float64, error) {
+	if len(mp) != c.G.NumCores() {
+		return 0, fmt.Errorf("core: mapping covers %d cores, CWG has %d", len(mp), c.G.NumCores())
+	}
+	var sum float64
+	for _, e := range c.G.Edges {
+		k, err := c.routers(mp[e.Src], mp[e.Dst])
+		if err != nil {
+			return 0, err
+		}
+		sum += float64(e.Bits) * c.Tech.BitEnergy(k)
+	}
+	return sum, nil
+}
+
+// Traffic returns the per-resource bit aggregates of a mapping — the cost
+// variables the CWM algorithm stores on CRG vertices and edges (Figure 2):
+// routerBits[t] feeds ERbit, linkBits[l] feeds ELbit, coreBits feeds the
+// optional ECbit term.
+func (c *CWM) Traffic(mp mapping.Mapping) (routerBits, linkBits []int64, coreBits int64, err error) {
+	if err := mp.Validate(c.Mesh.NumTiles()); err != nil {
+		return nil, nil, 0, err
+	}
+	if len(mp) != c.G.NumCores() {
+		return nil, nil, 0, fmt.Errorf("core: mapping covers %d cores, CWG has %d", len(mp), c.G.NumCores())
+	}
+	routerBits = make([]int64, c.Mesh.NumTiles())
+	linkBits = make([]int64, c.Mesh.NumLinks())
+	for _, e := range c.G.Edges {
+		r, err := c.Mesh.Route(c.Cfg.Routing, mp[e.Src], mp[e.Dst])
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		for i, t := range r.Tiles {
+			routerBits[t] += e.Bits
+			if i+1 < len(r.Tiles) {
+				li, ok := c.Mesh.LinkIndex(t, r.Tiles[i+1])
+				if !ok {
+					return nil, nil, 0, errors.New("core: route step is not a link")
+				}
+				linkBits[li] += e.Bits
+			}
+		}
+		coreBits += 2 * e.Bits
+	}
+	return routerBits, linkBits, coreBits, nil
+}
+
+// Metrics is the full CDCM pricing of one mapping.
+type Metrics struct {
+	// ExecCycles is texec in clock cycles.
+	ExecCycles int64
+	// ExecNS is texec in nanoseconds (cycles × λ).
+	ExecNS float64
+	// Energy is the dynamic/static breakdown under the pricing tech.
+	Energy energy.Breakdown
+	// ContentionCycles is the total packet stall time.
+	ContentionCycles int64
+}
+
+// Total returns ENoC in joules.
+func (m Metrics) Total() float64 { return m.Energy.Total() }
+
+// CDCM is the communication dependence and computation model evaluator:
+// it executes the CDCG on the mapped NoC (wormhole simulator) and prices
+// the result with equation (10). Not safe for concurrent use; create one
+// per goroutine.
+type CDCM struct {
+	Tech energy.Tech
+
+	sim *wormhole.Simulator
+}
+
+// NewCDCM validates the inputs and builds the evaluator.
+func NewCDCM(mesh *topology.Mesh, cfg noc.Config, tech energy.Tech, g *model.CDCG) (*CDCM, error) {
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	sim, err := wormhole.NewSimulator(mesh, cfg, g)
+	if err != nil {
+		return nil, err
+	}
+	return &CDCM{Tech: tech, sim: sim}, nil
+}
+
+// Simulator exposes the underlying wormhole simulator (e.g. to flip
+// RecordOccupancy for rendering runs).
+func (c *CDCM) Simulator() *wormhole.Simulator { return c.sim }
+
+// Evaluate runs the simulation and prices it under the evaluator's tech.
+func (c *CDCM) Evaluate(mp mapping.Mapping) (Metrics, error) {
+	return c.EvaluateWith(mp, c.Tech)
+}
+
+// EvaluateWith runs the simulation and prices it under an arbitrary
+// technology profile — the Table-2 protocol prices the same pair of
+// mappings under both 0.35µm and 0.07µm.
+func (c *CDCM) EvaluateWith(mp mapping.Mapping, tech energy.Tech) (Metrics, error) {
+	res, err := c.sim.Run(mp)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return c.price(res, tech), nil
+}
+
+// price converts a simulation result into Metrics under tech.
+func (c *CDCM) price(res *wormhole.Result, tech energy.Tech) Metrics {
+	var rb, lb int64
+	for _, b := range res.RouterBits {
+		rb += b
+	}
+	for _, b := range res.LinkBits {
+		lb += b
+	}
+	dyn := tech.DynamicFromTraffic(rb, lb, res.CoreBits)
+	st := tech.StaticEnergy(c.sim.Mesh.NumTiles(), c.sim.Cfg.CyclesToSeconds(res.ExecCycles))
+	return Metrics{
+		ExecCycles:       res.ExecCycles,
+		ExecNS:           c.sim.Cfg.CyclesToNS(res.ExecCycles),
+		Energy:           energy.Breakdown{Dynamic: dyn, Static: st},
+		ContentionCycles: res.TotalContention,
+	}
+}
+
+// Cost implements search.Objective: ENoC of equation (10), in joules.
+func (c *CDCM) Cost(mp mapping.Mapping) (float64, error) {
+	m, err := c.Evaluate(mp)
+	if err != nil {
+		return 0, err
+	}
+	return m.Total(), nil
+}
+
+// Simulate runs the CDCG on a mapping and returns the raw wormhole result
+// (timeline, occupancies) together with the priced metrics.
+func (c *CDCM) Simulate(mp mapping.Mapping) (*wormhole.Result, Metrics, error) {
+	res, err := c.sim.Run(mp)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return res, c.price(res, c.Tech), nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/energy"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/noc"
+	"repro/internal/topology"
+)
+
+// mirrorX reflects a mapping across the mesh's vertical axis.
+func mirrorX(mesh *topology.Mesh, mp mapping.Mapping) mapping.Mapping {
+	out := make(mapping.Mapping, len(mp))
+	for c, t := range mp {
+		xy := mesh.Coord(t)
+		out[c] = mesh.Tile(mesh.W()-1-xy.X, xy.Y)
+	}
+	return out
+}
+
+// mirrorY reflects a mapping across the mesh's horizontal axis.
+func mirrorY(mesh *topology.Mesh, mp mapping.Mapping) mapping.Mapping {
+	out := make(mapping.Mapping, len(mp))
+	for c, t := range mp {
+		xy := mesh.Coord(t)
+		out[c] = mesh.Tile(xy.X, mesh.H()-1-xy.Y)
+	}
+	return out
+}
+
+func randomTestCDCG(rng *rand.Rand, nc, np int) *model.CDCG {
+	g := &model.CDCG{Cores: model.MakeCores(nc)}
+	for i := 0; i < np; i++ {
+		s := model.CoreID(rng.Intn(nc))
+		d := model.CoreID(rng.Intn(nc))
+		for d == s {
+			d = model.CoreID(rng.Intn(nc))
+		}
+		g.Packets = append(g.Packets, model.Packet{
+			ID: model.PacketID(i), Src: s, Dst: d,
+			Compute: int64(rng.Intn(20)), Bits: 1 + int64(rng.Intn(200)),
+		})
+		if i > 0 && rng.Intn(2) == 0 {
+			g.Deps = append(g.Deps, model.Dep{From: model.PacketID(rng.Intn(i)), To: model.PacketID(i)})
+		}
+	}
+	return g
+}
+
+// Mirroring a mapping across either mesh axis mirrors every XY route, so
+// both the CWM cost and the CDCM schedule (texec, contention, energy) are
+// invariant. This is also the property that justifies the exhaustive
+// engine's symmetry anchor.
+func TestQuickMirrorSymmetryInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 2+rng.Intn(3), 2+rng.Intn(3)
+		mesh, err := topology.NewMesh(w, h)
+		if err != nil {
+			return false
+		}
+		nc := 2 + rng.Intn(mesh.NumTiles()-1)
+		g := randomTestCDCG(rng, nc, 2+rng.Intn(25))
+		if g.Validate() != nil {
+			return false
+		}
+		cfg := noc.Default()
+		tech := energy.Tech007
+		cwm, err := NewCWM(mesh, cfg, tech, g.ToCWG())
+		if err != nil {
+			return false
+		}
+		cdcm, err := NewCDCM(mesh, cfg, tech, g)
+		if err != nil {
+			return false
+		}
+		mp, err := mapping.Random(rng, nc, mesh.NumTiles())
+		if err != nil {
+			return false
+		}
+		baseC, err := cwm.Cost(mp)
+		if err != nil {
+			return false
+		}
+		baseM, err := cdcm.Evaluate(mp)
+		if err != nil {
+			return false
+		}
+		for _, mir := range []mapping.Mapping{mirrorX(mesh, mp), mirrorY(mesh, mp)} {
+			c, err := cwm.Cost(mir)
+			if err != nil || c != baseC {
+				return false
+			}
+			m, err := cdcm.Evaluate(mir)
+			if err != nil {
+				return false
+			}
+			if m.ExecCycles != baseM.ExecCycles ||
+				m.ContentionCycles != baseM.ContentionCycles ||
+				m.Total() != baseM.Total() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

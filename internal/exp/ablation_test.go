@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+)
+
+func TestRunAblations(t *testing.T) {
+	suite := smallSuite(t, 6)[:1]
+	outs, err := RunAblations(suite, nil, core.Options{
+		Method: core.MethodSA, Seed: 1, TempSteps: 8, MovesPerTemp: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(DefaultAblations()) {
+		t.Fatalf("outcomes = %d, want %d", len(outs), len(DefaultAblations()))
+	}
+	for _, o := range outs {
+		if o.ExecCycles <= 0 || o.TotalPJ <= 0 {
+			t.Fatalf("empty metrics: %+v", o)
+		}
+	}
+	out := RenderAblations(outs)
+	for _, want := range []string{"mesh/XY (paper)", "torus/XY", "arbitrated-local"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAblationsCustomVariant(t *testing.T) {
+	suite := smallSuite(t, 6)[:1]
+	outs, err := RunAblations(suite, []AblationVariant{{Name: "only-one"}},
+		core.Options{Method: core.MethodSA, Seed: 1, TempSteps: 5, MovesPerTemp: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Variant != "only-one" {
+		t.Fatalf("outs = %+v", outs)
+	}
+}
+
+func TestRunBuffersSweep(t *testing.T) {
+	suite := smallSuite(t, 6)[:1]
+	outs, err := RunBuffers(suite, noc.Config{}, []int64{1, 8},
+		core.Options{Method: core.MethodSA, Seed: 1, TempSteps: 8, MovesPerTemp: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	o := outs[0]
+	// Two bounded depths plus the unbounded reference.
+	if len(o.Depths) != 3 || o.Depths[2] != -1 {
+		t.Fatalf("depths = %v", o.Depths)
+	}
+	for i := range o.Depths {
+		if o.CWMExec[i] <= 0 || o.CDCMExec[i] <= 0 {
+			t.Fatalf("missing exec values: %+v", o)
+		}
+	}
+	out := RenderBuffers(outs)
+	for _, want := range []string{"B=1", "B=8", "unbounded", "CWM", "CDCM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/noc"
+)
+
+func TestRunSensitivity(t *testing.T) {
+	suite := smallSuite(t, 6)[:2]
+	outs, err := RunSensitivity(suite, noc.Config{}, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	for _, o := range outs {
+		if o.MinRandom <= 0 || o.MinRandom > o.MeanRandom || o.MeanRandom > o.MaxRandom {
+			t.Fatalf("inconsistent spread: %+v", o)
+		}
+		// The time-only annealer must not be worse than the best random
+		// sample by more than noise (it sees strictly more mappings than
+		// a sampler of the same landscape, but different seeds can vary;
+		// it must at least beat the random mean).
+		if o.BestTime > o.MeanRandom {
+			t.Fatalf("time-SA worse than random mean: %+v", o)
+		}
+		if o.Gap < -0.001 {
+			t.Fatalf("negative gap: %+v", o)
+		}
+		if o.CWMTime < o.BestTime {
+			// Possible in principle (CWM luck), but then Gap must be <= 0
+			// and small; flag wild inconsistencies only.
+			if float64(o.BestTime-o.CWMTime)/float64(o.BestTime) > 0.25 {
+				t.Fatalf("CWM much faster than the time-only search: %+v", o)
+			}
+		}
+	}
+	out := RenderSensitivity(outs)
+	if !strings.Contains(out, "ETR bound") || !strings.Contains(out, suite[0].Name) {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}

@@ -1,0 +1,249 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/noc"
+	"repro/internal/trace"
+)
+
+// Table2Options tunes the Table-2 regeneration.
+type Table2Options struct {
+	// Cfg is the NoC architecture (default noc.Default()).
+	Cfg noc.Config
+	// Search is the shared budget for both strategies. The zero value
+	// uses MethodSA with annealer defaults.
+	Search core.Options
+	// Seeds averages each workload over several search seeds (default
+	// {1}). The paper reports per-size averages; seeds reduce SA noise.
+	Seeds []int64
+	// MaxTiles skips workloads on larger NoCs (0 = no limit) so tests and
+	// quick runs can use a subset.
+	MaxTiles int
+	// Techs are the reporting profiles (default Tech035, Tech007).
+	Techs []energy.Tech
+}
+
+func (o *Table2Options) fill() {
+	if o.Cfg == (noc.Config{}) {
+		o.Cfg = noc.Default()
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []int64{1}
+	}
+	if len(o.Techs) == 0 {
+		o.Techs = []energy.Tech{energy.Tech035, energy.Tech007}
+	}
+}
+
+// WorkloadOutcome is one (workload, seed) comparison.
+type WorkloadOutcome struct {
+	Workload string
+	NoCSize  string
+	Seed     int64
+	ETR      float64
+	// ECS and StaticShare are keyed by tech name. StaticShare is the
+	// leakage fraction of the CWM mapping's total energy — the lever that
+	// converts time savings into energy savings.
+	ECS         map[string]float64
+	StaticShare map[string]float64
+	// CWMExecCycles / CDCMExecCycles are the winners' execution times.
+	CWMExecCycles, CDCMExecCycles int64
+	// Contention of each winner, in cycles.
+	CWMContention, CDCMContention int64
+}
+
+// Table2Row aggregates outcomes per NoC size (the paper's rows).
+type Table2Row struct {
+	NoCSize   string
+	Workloads int
+	Runs      int
+	ETR       float64
+	// ETRStd is the standard deviation of ETR across the row's runs
+	// (workloads × seeds) — the paper reports bare averages; the spread
+	// shows how much is workload mix vs annealing noise.
+	ETRStd float64
+	ECS    map[string]float64
+}
+
+// Table2Report is the regenerated table plus per-run detail.
+type Table2Report struct {
+	Rows     []Table2Row
+	Average  Table2Row
+	Outcomes []WorkloadOutcome
+	Techs    []string
+}
+
+// RunTable2 executes the paper's Table-2 protocol over the given suite.
+func RunTable2(suite []Workload, opts Table2Options) (*Table2Report, error) {
+	opts.fill()
+	var techNames []string
+	for _, t := range opts.Techs {
+		techNames = append(techNames, t.Name)
+	}
+	rep := &Table2Report{Techs: techNames}
+
+	for _, w := range suite {
+		if opts.MaxTiles > 0 && w.MeshW*w.MeshH > opts.MaxTiles {
+			continue
+		}
+		mesh, err := w.Mesh()
+		if err != nil {
+			return nil, err
+		}
+		for _, seed := range opts.Seeds {
+			so := opts.Search
+			so.Seed = seed
+			// Size-scaled annealing budget unless the caller fixed one:
+			// large instances need a longer schedule, reheats escape the
+			// rugged contention landscape of the CDCM objective.
+			if so.TempSteps == 0 && so.MovesPerTemp == 0 {
+				tiles := w.MeshW * w.MeshH
+				if tiles > 25 {
+					so.TempSteps = 180
+					so.MovesPerTemp = 15 * tiles
+					so.StallSteps = 30
+					so.Reheats = 2
+				} else {
+					so.TempSteps = 140
+					so.MovesPerTemp = 20 * tiles
+					so.StallSteps = 25
+					so.Reheats = 2
+				}
+			}
+			cmp, err := core.CompareModels(mesh, opts.Cfg, w.G, core.CompareOptions{
+				Options:     so,
+				ReportTechs: opts.Techs,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s seed %d: %w", w.Name, seed, err)
+			}
+			out := WorkloadOutcome{
+				Workload:    w.Name,
+				NoCSize:     w.NoCSize(),
+				Seed:        seed,
+				ETR:         cmp.ETR,
+				ECS:         cmp.ECS,
+				StaticShare: make(map[string]float64, len(opts.Techs)),
+			}
+			// Execution-time detail comes from the optimisation tech (the
+			// deep-submicron point, which also defines ETR).
+			ref := opts.Techs[len(opts.Techs)-1].Name
+			out.CWMExecCycles = cmp.CWMMetrics[ref].ExecCycles
+			out.CDCMExecCycles = cmp.CDCMMetrics[ref].ExecCycles
+			out.CWMContention = cmp.CWMMetrics[ref].ContentionCycles
+			out.CDCMContention = cmp.CDCMMetrics[ref].ContentionCycles
+			for _, tech := range opts.Techs {
+				out.StaticShare[tech.Name] = cmp.CWMMetrics[tech.Name].Energy.StaticShare()
+			}
+			rep.Outcomes = append(rep.Outcomes, out)
+		}
+	}
+
+	// Aggregate by NoC size in paper order.
+	bySize := make(map[string][]WorkloadOutcome)
+	for _, o := range rep.Outcomes {
+		bySize[o.NoCSize] = append(bySize[o.NoCSize], o)
+	}
+	var allRows []WorkloadOutcome
+	for _, size := range SizeOrder {
+		outs := bySize[size]
+		if len(outs) == 0 {
+			continue
+		}
+		row := Table2Row{NoCSize: size, Runs: len(outs), ECS: map[string]float64{}}
+		seen := map[string]bool{}
+		for _, o := range outs {
+			row.ETR += o.ETR
+			for _, tn := range techNames {
+				row.ECS[tn] += o.ECS[tn]
+			}
+			if !seen[o.Workload] {
+				seen[o.Workload] = true
+				row.Workloads++
+			}
+		}
+		row.ETR /= float64(len(outs))
+		for _, tn := range techNames {
+			row.ECS[tn] /= float64(len(outs))
+		}
+		var varSum float64
+		for _, o := range outs {
+			d := o.ETR - row.ETR
+			varSum += d * d
+		}
+		row.ETRStd = math.Sqrt(varSum / float64(len(outs)))
+		rep.Rows = append(rep.Rows, row)
+		allRows = append(allRows, outs...)
+	}
+	if len(allRows) > 0 {
+		avg := Table2Row{NoCSize: "average", Runs: len(allRows), ECS: map[string]float64{}}
+		for _, o := range allRows {
+			avg.ETR += o.ETR
+			for _, tn := range techNames {
+				avg.ECS[tn] += o.ECS[tn]
+			}
+		}
+		avg.ETR /= float64(len(allRows))
+		for _, tn := range techNames {
+			avg.ECS[tn] /= float64(len(allRows))
+		}
+		rep.Average = avg
+	}
+	return rep, nil
+}
+
+// Render formats the report in the paper's Table-2 layout plus the
+// measured static-share diagnostics.
+func (r *Table2Report) Render() string {
+	headers := []string{"NoC size", "apps", "runs", "ETR"}
+	for _, tn := range r.Techs {
+		headers = append(headers, "ECS "+tn)
+	}
+	var rows [][]string
+	addRow := func(row Table2Row) {
+		etr := fmt.Sprintf("%.1f %%", row.ETR*100)
+		if row.Runs > 1 && row.ETRStd > 0 {
+			etr = fmt.Sprintf("%.1f ± %.1f %%", row.ETR*100, row.ETRStd*100)
+		}
+		cells := []string{row.NoCSize, fmt.Sprint(row.Workloads), fmt.Sprint(row.Runs), etr}
+		for _, tn := range r.Techs {
+			cells = append(cells, fmt.Sprintf("%.2f %%", row.ECS[tn]*100))
+		}
+		rows = append(rows, cells)
+	}
+	for _, row := range r.Rows {
+		addRow(row)
+	}
+	if r.Average.Runs > 0 {
+		avg := r.Average
+		avg.Workloads = 0
+		for _, row := range r.Rows {
+			avg.Workloads += row.Workloads
+		}
+		addRow(avg)
+	}
+	var b strings.Builder
+	b.WriteString("Table 2 — average energy and execution time reductions, CDCM vs CWM\n")
+	b.WriteString(trace.Table(headers, rows))
+
+	// Diagnostics: measured leakage shares per tech (suite average).
+	share := map[string]float64{}
+	if len(r.Outcomes) > 0 {
+		for _, o := range r.Outcomes {
+			for _, tn := range r.Techs {
+				share[tn] += o.StaticShare[tn]
+			}
+		}
+		b.WriteString("measured static (leakage) energy share of CWM mappings:")
+		for _, tn := range r.Techs {
+			fmt.Fprintf(&b, "  %s: %.1f %%", tn, share[tn]/float64(len(r.Outcomes))*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

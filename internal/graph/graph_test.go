@@ -1,0 +1,237 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustEdge(t *testing.T, g *Digraph, u, v int) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}
+
+func TestTopoSortLinear(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g := New(5)
+	mustEdge(t, g, 4, 1)
+	mustEdge(t, g, 3, 1)
+	mustEdge(t, g, 1, 0)
+	first, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := g.TopoSort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("run %d: order %v differs from first %v", i, again, first)
+			}
+		}
+	}
+	// Smallest ready index first: 2, 3, 4 are sources; 2 must come first.
+	if first[0] != 2 {
+		t.Fatalf("expected node 2 first, got %v", first)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New(3)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 0)
+	if _, err := g.TopoSort(); err != ErrCycle {
+		t.Fatalf("want ErrCycle, got %v", err)
+	}
+	if !g.HasCycle() {
+		t.Fatal("HasCycle = false on a 3-cycle")
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	g := New(2)
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Fatal("self loop accepted")
+	}
+}
+
+func TestEdgeRangeChecked(t *testing.T) {
+	g := New(2)
+	for _, e := range [][2]int{{-1, 0}, {0, 2}, {5, 5}} {
+		if err := g.AddEdge(e[0], e[1]); err == nil {
+			t.Fatalf("edge %v accepted", e)
+		}
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	src := g.Sources()
+	if len(src) != 2 || src[0] != 0 || src[1] != 1 {
+		t.Fatalf("sources = %v", src)
+	}
+	snk := g.Sinks()
+	if len(snk) != 1 || snk[0] != 3 {
+		t.Fatalf("sinks = %v", snk)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(5)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 3, 4)
+	r := g.Reachable(0)
+	want := []bool{true, true, true, false, false}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Reachable(0) = %v, want %v", r, want)
+		}
+	}
+	if r := g.Reachable(-1); r[0] {
+		t.Fatal("out-of-range source should reach nothing")
+	}
+}
+
+func TestLongestPath(t *testing.T) {
+	// Diamond: 0 -> {1,2} -> 3 with weights 1, 10, 2, 5.
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 1, 3)
+	mustEdge(t, g, 2, 3)
+	w := []int64{1, 10, 2, 5}
+	got, err := g.LongestPath(func(v int) int64 { return w[v] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 16 { // 0 -> 1 -> 3
+		t.Fatalf("LongestPath = %d, want 16", got)
+	}
+}
+
+func TestLongestPathEmpty(t *testing.T) {
+	g := New(0)
+	got, err := g.LongestPath(func(int) int64 { return 1 })
+	if err != nil || got != 0 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+}
+
+func TestLongestPathCycle(t *testing.T) {
+	g := New(2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 0)
+	if _, err := g.LongestPath(func(int) int64 { return 1 }); err != ErrCycle {
+		t.Fatalf("want ErrCycle, got %v", err)
+	}
+}
+
+// randomDAG builds a DAG by only adding forward edges under a random
+// permutation, so it is acyclic by construction.
+func randomDAG(rng *rand.Rand, n, m int) *Digraph {
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 0; i < m; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if perm[a] > perm[b] {
+			a, b = b, a
+		}
+		_ = g.AddEdge(a, b)
+	}
+	return g
+}
+
+func TestQuickTopoOrderRespectsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := randomDAG(rng, n, 3*n)
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Succ(u) {
+				if pos[u] >= pos[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLongestPathAtLeastMaxNode(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		g := randomDAG(rng, n, 2*n)
+		w := make([]int64, n)
+		var maxw int64
+		for i := range w {
+			w[i] = int64(rng.Intn(100))
+			if w[i] > maxw {
+				maxw = w[i]
+			}
+		}
+		lp, err := g.LongestPath(func(v int) int64 { return w[v] })
+		if err != nil {
+			return false
+		}
+		return lp >= maxw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	h := &intHeap{}
+	in := []int{5, 3, 9, 1, 7, 1, 0}
+	for _, x := range in {
+		h.push(x)
+	}
+	prev := -1
+	for h.len() > 0 {
+		x := h.pop()
+		if x < prev {
+			t.Fatalf("heap popped %d after %d", x, prev)
+		}
+		prev = x
+	}
+}

@@ -1,0 +1,105 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/topology"
+)
+
+// EnumerateOptions tunes exhaustive placement enumeration.
+type EnumerateOptions struct {
+	// Limit aborts enumeration after this many placements (0 = no limit).
+	// Enumeration returns ErrLimit when the limit triggers, so callers can
+	// distinguish a certified-complete sweep from a truncated one.
+	Limit int64
+	// AnchorCore, when >= 0, restricts the given core to tiles in the
+	// canonical quadrant of the mesh (x <= (W-1)/2, y <= (H-1)/2). Mesh
+	// symmetry (horizontal/vertical mirror) guarantees at least one
+	// optimal mapping survives, shrinking the space by up to 4x without
+	// losing optimality. Use -1 to disable.
+	AnchorCore int
+}
+
+// ErrLimit is returned when enumeration stops because Options.Limit was
+// reached before the space was exhausted.
+var ErrLimit = fmt.Errorf("mapping: enumeration limit reached")
+
+// Count returns the number of injective placements of numCores cores on
+// numTiles tiles: numTiles!/(numTiles-numCores)!. It saturates at
+// math.MaxInt64 on overflow.
+func Count(numCores, numTiles int) int64 {
+	if numCores > numTiles || numCores <= 0 {
+		return 0
+	}
+	var n int64 = 1
+	for i := 0; i < numCores; i++ {
+		f := int64(numTiles - i)
+		if n > math.MaxInt64/f {
+			return math.MaxInt64
+		}
+		n *= f
+	}
+	return n
+}
+
+// Enumerate calls fn for every injective placement of numCores cores on
+// the mesh, reusing a single Mapping buffer (fn must not retain it; clone
+// if needed). fn returning false stops enumeration early with a nil error.
+// The order is deterministic: lexicographic in (core, tile) choice order.
+func Enumerate(mesh *topology.Mesh, numCores int, opts EnumerateOptions, fn func(Mapping) bool) error {
+	numTiles := mesh.NumTiles()
+	if numCores <= 0 || numCores > numTiles {
+		return fmt.Errorf("mapping: cannot place %d cores on %d tiles", numCores, numTiles)
+	}
+	m := make(Mapping, numCores)
+	used := make([]bool, numTiles)
+	var emitted int64
+
+	var anchorOK func(t topology.TileID) bool
+	if opts.AnchorCore >= 0 && opts.AnchorCore < numCores {
+		maxX := (mesh.W() - 1) / 2
+		maxY := (mesh.H() - 1) / 2
+		anchorOK = func(t topology.TileID) bool {
+			c := mesh.Coord(t)
+			return c.X <= maxX && c.Y <= maxY
+		}
+	}
+
+	var rec func(core int) error
+	rec = func(core int) error {
+		if core == numCores {
+			emitted++
+			if !fn(m) {
+				return errStop
+			}
+			if opts.Limit > 0 && emitted >= opts.Limit {
+				return ErrLimit
+			}
+			return nil
+		}
+		for t := 0; t < numTiles; t++ {
+			if used[t] {
+				continue
+			}
+			if core == opts.AnchorCore && anchorOK != nil && !anchorOK(topology.TileID(t)) {
+				continue
+			}
+			used[t] = true
+			m[core] = topology.TileID(t)
+			err := rec(core + 1)
+			used[t] = false
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := rec(0)
+	if err == errStop {
+		return nil
+	}
+	return err
+}
+
+var errStop = fmt.Errorf("mapping: enumeration stopped by callback")

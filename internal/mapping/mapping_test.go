@@ -1,0 +1,229 @@
+package mapping
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/topology"
+)
+
+func TestRandomValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		m, err := Random(rng, 5, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(8); err != nil {
+			t.Fatalf("random mapping invalid: %v", err)
+		}
+	}
+}
+
+func TestRandomErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Random(rng, 9, 8); err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+	if _, err := Random(rng, 0, 8); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Mapping
+		n    int
+	}{
+		{"empty", Mapping{}, 4},
+		{"dup tile", Mapping{0, 0}, 4},
+		{"out of range", Mapping{5}, 4},
+		{"negative", Mapping{-1}, 4},
+		{"too many cores", Mapping{0, 1, 2, 3, 0}, 4},
+	}
+	for _, tc := range cases {
+		if err := tc.m.Validate(tc.n); err == nil {
+			t.Fatalf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestOccupantsRoundTrip(t *testing.T) {
+	m := Mapping{3, 0, 2}
+	occ := m.Occupants(4)
+	want := []model.CoreID{1, Unassigned, 2, 0}
+	for i := range want {
+		if occ[i] != want[i] {
+			t.Fatalf("occ = %v, want %v", occ, want)
+		}
+	}
+}
+
+func TestSwapTiles(t *testing.T) {
+	m := Mapping{0, 1} // core0@t0, core1@t1 on 3 tiles
+	occ := m.Occupants(3)
+
+	SwapTiles(m, occ, 0, 1) // swap two occupied tiles
+	if m[0] != 1 || m[1] != 0 {
+		t.Fatalf("after occupied swap: %v", m)
+	}
+	SwapTiles(m, occ, 0, 2) // move core1 from t0 to empty t2
+	if m[1] != 2 || occ[0] != Unassigned || occ[2] != 1 {
+		t.Fatalf("after move to empty: m=%v occ=%v", m, occ)
+	}
+	SwapTiles(m, occ, 0, 0) // degenerate same-tile swap is a no-op
+	if err := m.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSwapPreservesInjectivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTiles := 2 + rng.Intn(12)
+		nCores := 1 + rng.Intn(nTiles)
+		m, err := Random(rng, nCores, nTiles)
+		if err != nil {
+			return false
+		}
+		occ := m.Occupants(nTiles)
+		for i := 0; i < 100; i++ {
+			a := topology.TileID(rng.Intn(nTiles))
+			b := topology.TileID(rng.Intn(nTiles))
+			SwapTiles(m, occ, a, b)
+			if m.Validate(nTiles) != nil {
+				return false
+			}
+			// occ must stay consistent with m.
+			for c, tl := range m {
+				if occ[tl] != model.CoreID(c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := []struct {
+		cores, tiles int
+		want         int64
+	}{
+		{4, 4, 24},
+		{5, 6, 720},
+		{1, 10, 10},
+		{3, 3, 6},
+		{0, 5, 0},
+		{6, 5, 0},
+	}
+	for _, tc := range cases {
+		if got := Count(tc.cores, tc.tiles); got != tc.want {
+			t.Fatalf("Count(%d,%d) = %d, want %d", tc.cores, tc.tiles, got, tc.want)
+		}
+	}
+	if Count(20, 30) <= 0 {
+		t.Fatal("large count should saturate positive")
+	}
+}
+
+func TestEnumerateComplete(t *testing.T) {
+	mesh, err := topology.NewMesh(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen int64
+	distinct := map[string]bool{}
+	err = Enumerate(mesh, 3, EnumerateOptions{AnchorCore: -1}, func(m Mapping) bool {
+		seen++
+		if err := m.Validate(4); err != nil {
+			t.Fatalf("enumerated invalid mapping: %v", err)
+		}
+		distinct[m.String()] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Count(3, 4); seen != want || int64(len(distinct)) != want {
+		t.Fatalf("enumerated %d (distinct %d), want %d", seen, len(distinct), want)
+	}
+}
+
+func TestEnumerateEarlyStopAndLimit(t *testing.T) {
+	mesh, _ := topology.NewMesh(2, 2)
+	var n int
+	err := Enumerate(mesh, 2, EnumerateOptions{AnchorCore: -1}, func(Mapping) bool {
+		n++
+		return n < 3
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("early stop: n=%d err=%v", n, err)
+	}
+	n = 0
+	err = Enumerate(mesh, 2, EnumerateOptions{Limit: 5, AnchorCore: -1}, func(Mapping) bool {
+		n++
+		return true
+	})
+	if err != ErrLimit || n != 5 {
+		t.Fatalf("limit: n=%d err=%v", n, err)
+	}
+}
+
+func TestEnumerateAnchorShrinksSpace(t *testing.T) {
+	mesh, _ := topology.NewMesh(2, 2)
+	var anchored, full int64
+	_ = Enumerate(mesh, 2, EnumerateOptions{AnchorCore: -1}, func(Mapping) bool { full++; return true })
+	_ = Enumerate(mesh, 2, EnumerateOptions{AnchorCore: 0}, func(Mapping) bool { anchored++; return true })
+	// On 2x2 the canonical quadrant is the single tile (0,0): core 0 pinned.
+	if full != 12 || anchored != 3 {
+		t.Fatalf("full=%d anchored=%d, want 12 and 3", full, anchored)
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	mesh, _ := topology.NewMesh(2, 2)
+	if err := Enumerate(mesh, 5, EnumerateOptions{}, func(Mapping) bool { return true }); err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+	if err := Enumerate(mesh, 0, EnumerateOptions{}, func(Mapping) bool { return true }); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+}
+
+func TestStringAndEqualAndClone(t *testing.T) {
+	m := Mapping{1, 0}
+	if !Equal(m, m.Clone()) {
+		t.Fatal("clone not equal")
+	}
+	if Equal(m, Mapping{1}) || Equal(m, Mapping{0, 1}) {
+		t.Fatal("unequal mappings compare equal")
+	}
+	if s := m.String(); !strings.Contains(s, "c0>t2") || !strings.Contains(s, "c1>t1") {
+		t.Fatalf("String = %q", s)
+	}
+	c := m.Clone()
+	c[0] = 9
+	if m[0] == 9 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	if err := m.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	for i, tl := range m {
+		if int(tl) != i {
+			t.Fatalf("identity[%d] = %d", i, tl)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package search
+
+import (
+	"testing"
+)
+
+// Reheating spends extra steps but may only improve the incumbent.
+func TestAnnealerReheatNeverWorse(t *testing.T) {
+	p, _ := testProblem(t, 4, 4, 12)
+	base, err := (&Annealer{Problem: p, Seed: 5, TempSteps: 30, StallSteps: 5}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := (&Annealer{Problem: p, Seed: 5, TempSteps: 60, StallSteps: 5, Reheats: 3}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.BestCost > base.BestCost {
+		t.Fatalf("reheated run worse: %g > %g", hot.BestCost, base.BestCost)
+	}
+	if err := hot.Best.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// After a reheat the internal occupancy view must stay consistent with
+// the mapping (the walk restarts from the incumbent best).
+func TestAnnealerReheatStateConsistency(t *testing.T) {
+	p, _ := testProblem(t, 3, 3, 5) // partial occupancy stresses the reset
+	for seed := int64(0); seed < 8; seed++ {
+		res, err := (&Annealer{
+			Problem: p, Seed: seed,
+			TempSteps: 40, StallSteps: 3, Reheats: 4,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Best.Validate(9); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.BestCost > res.InitialCost {
+			t.Fatalf("seed %d: best %g worse than initial %g", seed, res.BestCost, res.InitialCost)
+		}
+	}
+}

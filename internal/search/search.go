@@ -1,0 +1,257 @@
+// Package search provides the mapping-space exploration engines of the
+// FRW framework: simulated annealing (the paper's workhorse), exhaustive
+// search (used on small NoCs to certify optimality), plus hill climbing,
+// random sampling and tabu search as extensions. All engines are
+// deterministic under a fixed seed and generic over an Objective, so the
+// same machinery explores both the CWM and the CDCM cost functions.
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/topology"
+)
+
+// Objective prices a mapping; lower is better. Implementations are the
+// CWM evaluator (EDyNoC of equation (3)) and the CDCM evaluator (ENoC of
+// equation (10)) in package core.
+type Objective interface {
+	Cost(mp mapping.Mapping) (float64, error)
+}
+
+// ObjectiveFunc adapts a plain function to the Objective interface.
+type ObjectiveFunc func(mp mapping.Mapping) (float64, error)
+
+// Cost implements Objective.
+func (f ObjectiveFunc) Cost(mp mapping.Mapping) (float64, error) { return f(mp) }
+
+// Result reports the outcome of one search run.
+type Result struct {
+	// Best is the lowest-cost mapping found.
+	Best mapping.Mapping
+	// BestCost is its objective value.
+	BestCost float64
+	// InitialCost is the objective value of the starting mapping.
+	InitialCost float64
+	// Evaluations counts objective calls.
+	Evaluations int64
+	// Improvements counts strict improvements of the incumbent best.
+	Improvements int64
+	// Certified is true when the whole space was enumerated (exhaustive
+	// search without hitting a limit), i.e. Best is a global optimum.
+	Certified bool
+}
+
+// Problem describes the placement instance shared by all engines.
+type Problem struct {
+	Mesh     *topology.Mesh
+	NumCores int
+	Obj      Objective
+}
+
+func (p *Problem) validate() error {
+	if p.Mesh == nil {
+		return errors.New("search: nil mesh")
+	}
+	if p.Obj == nil {
+		return errors.New("search: nil objective")
+	}
+	if p.NumCores <= 0 || p.NumCores > p.Mesh.NumTiles() {
+		return fmt.Errorf("search: %d cores cannot be placed on %d tiles",
+			p.NumCores, p.Mesh.NumTiles())
+	}
+	return nil
+}
+
+// Annealer is the paper's simulated-annealing engine: start from a random
+// mapping, propose tile swaps, accept degradations with Metropolis
+// probability under a geometrically cooling temperature, and keep the best
+// mapping seen.
+type Annealer struct {
+	Problem Problem
+	// Seed makes the run reproducible.
+	Seed int64
+	// Initial, when non-nil, replaces the random starting mapping.
+	Initial mapping.Mapping
+	// InitialTemp is the starting temperature in objective units. Zero
+	// auto-calibrates it from sampled moves so that ~90% of degrading
+	// moves are initially accepted (objective magnitudes here are
+	// picojoules, so a fixed default would be meaningless).
+	InitialTemp float64
+	// Alpha is the geometric cooling factor in (0,1); 0 defaults to 0.95.
+	Alpha float64
+	// MovesPerTemp is the number of proposed swaps per temperature step;
+	// 0 defaults to 10 × NumTiles.
+	MovesPerTemp int
+	// TempSteps bounds the number of cooling steps; 0 defaults to 100.
+	TempSteps int
+	// StallSteps stops early after this many consecutive temperature
+	// steps without improving the incumbent; 0 defaults to 20.
+	StallSteps int
+	// Reheats restarts a stalled schedule: the walk jumps back to the
+	// best mapping and the temperature resets to half the previous
+	// starting temperature, up to Reheats times. Reheating spends the
+	// same per-step budget but escapes local basins on rugged landscapes
+	// (the contention-driven CDCM objective in particular).
+	Reheats int
+}
+
+// Run executes the annealing schedule.
+func (a *Annealer) Run() (*Result, error) {
+	if err := a.Problem.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(a.Seed))
+	numTiles := a.Problem.Mesh.NumTiles()
+
+	cur := a.Initial
+	if cur == nil {
+		var err error
+		cur, err = mapping.Random(rng, a.Problem.NumCores, numTiles)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if len(cur) != a.Problem.NumCores {
+			return nil, fmt.Errorf("search: initial mapping has %d cores, want %d", len(cur), a.Problem.NumCores)
+		}
+		if err := cur.Validate(numTiles); err != nil {
+			return nil, err
+		}
+		cur = cur.Clone()
+	}
+	occ := cur.Occupants(numTiles)
+
+	res := &Result{}
+	cost, err := a.Problem.Obj.Cost(cur)
+	if err != nil {
+		return nil, err
+	}
+	res.Evaluations++
+	res.InitialCost = cost
+	res.Best = cur.Clone()
+	res.BestCost = cost
+
+	alpha := a.Alpha
+	if alpha == 0 {
+		alpha = 0.95
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("search: alpha %g outside (0,1)", alpha)
+	}
+	moves := a.MovesPerTemp
+	if moves == 0 {
+		moves = 10 * numTiles
+	}
+	steps := a.TempSteps
+	if steps == 0 {
+		steps = 100
+	}
+	stall := a.StallSteps
+	if stall == 0 {
+		stall = 20
+	}
+
+	propose := func() (ta, tb topology.TileID) {
+		for {
+			ta = topology.TileID(rng.Intn(numTiles))
+			tb = topology.TileID(rng.Intn(numTiles))
+			if ta == tb {
+				continue
+			}
+			// A swap of two empty tiles changes nothing; re-draw.
+			if occ[ta] == mapping.Unassigned && occ[tb] == mapping.Unassigned {
+				continue
+			}
+			return ta, tb
+		}
+	}
+
+	temp := a.InitialTemp
+	if temp <= 0 {
+		// Calibration pass: sample some moves and set T0 so that an
+		// average degradation is accepted with probability ~0.9.
+		var sum float64
+		var n int
+		for i := 0; i < 40; i++ {
+			ta, tb := propose()
+			mapping.SwapTiles(cur, occ, ta, tb)
+			c, err := a.Problem.Obj.Cost(cur)
+			mapping.SwapTiles(cur, occ, ta, tb) // undo
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluations++
+			if d := c - cost; d > 0 {
+				sum += d
+				n++
+			}
+		}
+		if n > 0 {
+			temp = (sum / float64(n)) / -math.Log(0.9)
+		} else {
+			// Start in a local minimum w.r.t. sampled moves: any positive
+			// temperature works; pick one proportional to the cost scale.
+			temp = math.Max(cost*0.01, 1e-300)
+		}
+	}
+
+	stalled := 0
+	reheatsLeft := a.Reheats
+	baseTemp := temp
+	for step := 0; step < steps; step++ {
+		if stalled >= stall {
+			if reheatsLeft <= 0 {
+				break
+			}
+			// Reheat: continue from the incumbent best at half the
+			// previous starting temperature.
+			reheatsLeft--
+			baseTemp /= 2
+			temp = baseTemp
+			copy(cur, res.Best)
+			for i := range occ {
+				occ[i] = mapping.Unassigned
+			}
+			for c, tl := range cur {
+				occ[tl] = model.CoreID(c)
+			}
+			cost = res.BestCost
+			stalled = 0
+		}
+		improvedThisStep := false
+		for mv := 0; mv < moves; mv++ {
+			ta, tb := propose()
+			mapping.SwapTiles(cur, occ, ta, tb)
+			c, err := a.Problem.Obj.Cost(cur)
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluations++
+			d := c - cost
+			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+				cost = c
+				if cost < res.BestCost {
+					res.BestCost = cost
+					copy(res.Best, cur)
+					res.Improvements++
+					improvedThisStep = true
+				}
+			} else {
+				mapping.SwapTiles(cur, occ, ta, tb) // reject: undo
+			}
+		}
+		if improvedThisStep {
+			stalled = 0
+		} else {
+			stalled++
+		}
+		temp *= alpha
+	}
+	return res, nil
+}

@@ -1,0 +1,68 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bfsDist computes shortest-path hop counts by breadth-first search over
+// the link structure — an independent reference for MinHops and Route.
+func bfsDist(m *Mesh, src TileID) []int {
+	dist := make([]int, m.NumTiles())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []TileID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for d := East; d <= North; d++ {
+			if nt, ok := m.Neighbor(cur, d); ok && dist[nt] < 0 {
+				dist[nt] = dist[cur] + 1
+				queue = append(queue, nt)
+			}
+		}
+	}
+	return dist
+}
+
+// Property: MinHops and the deterministic routes agree with BFS over the
+// actual link structure, on meshes and tori, under both routing functions.
+func TestQuickRoutesAgreeWithBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 1+rng.Intn(7), 1+rng.Intn(7)
+		var m *Mesh
+		var err error
+		if rng.Intn(2) == 0 {
+			m, err = NewMesh(w, h)
+		} else {
+			m, err = NewTorus(w, h)
+		}
+		if err != nil {
+			return false
+		}
+		src := TileID(rng.Intn(m.NumTiles()))
+		dist := bfsDist(m, src)
+		for dst := 0; dst < m.NumTiles(); dst++ {
+			if dist[dst] < 0 {
+				return false // grid must be connected
+			}
+			if m.MinHops(src, TileID(dst)) != dist[dst] {
+				return false
+			}
+			for _, algo := range []RoutingAlgo{RouteXY, RouteYX} {
+				r, err := m.Route(algo, src, TileID(dst))
+				if err != nil || r.Hops() != dist[dst] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

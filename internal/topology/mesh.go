@@ -1,0 +1,226 @@
+// Package topology models the communication resource graph (CRG,
+// Definition 3 of the paper): a rectangular grid of tiles, each holding one
+// router, connected by directed point-to-point links. The paper evaluates a
+// 2-D mesh with deterministic XY wormhole routing; a torus variant and YX
+// routing are provided as extensions ("other NoC topologies can be equally
+// treated").
+package topology
+
+import (
+	"fmt"
+)
+
+// TileID identifies one tile (router) of the NoC. Tiles are numbered
+// row-major from the top-left corner: tile = y*W + x, matching the paper's
+// τ1..τn reading order (we use 0-based IDs; renderers print τ(i+1)).
+type TileID int
+
+// Coord is the (column, row) position of a tile; X grows rightwards and Y
+// grows downwards.
+type Coord struct {
+	X, Y int
+}
+
+// Kind distinguishes plain meshes from tori (wrap-around links).
+type Kind int
+
+const (
+	// KindMesh is a plain 2-D mesh (the paper's target).
+	KindMesh Kind = iota
+	// KindTorus adds wrap-around links in both dimensions (extension).
+	KindTorus
+)
+
+func (k Kind) String() string {
+	if k == KindTorus {
+		return "torus"
+	}
+	return "mesh"
+}
+
+// Mesh is a W×H grid of tiles. The zero value is not usable; construct
+// with NewMesh or NewTorus.
+type Mesh struct {
+	w, h int
+	kind Kind
+
+	// linkIdx[from][dir] is the dense index of the directed link leaving
+	// tile `from` in direction dir, or -1 if absent.
+	linkIdx  [][4]int
+	numLinks int
+}
+
+// Direction of a link leaving a tile.
+type Direction int
+
+// Directions, in enumeration order.
+const (
+	East Direction = iota
+	West
+	South
+	North
+)
+
+func (d Direction) String() string {
+	switch d {
+	case East:
+		return "E"
+	case West:
+		return "W"
+	case South:
+		return "S"
+	case North:
+		return "N"
+	}
+	return "?"
+}
+
+// NewMesh returns a plain W×H mesh. Both dimensions must be positive and
+// the mesh must hold at least one tile.
+func NewMesh(w, h int) (*Mesh, error) { return newGrid(w, h, KindMesh) }
+
+// NewTorus returns a W×H torus (wrap-around in both dimensions).
+func NewTorus(w, h int) (*Mesh, error) { return newGrid(w, h, KindTorus) }
+
+func newGrid(w, h int, kind Kind) (*Mesh, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("topology: invalid dimensions %dx%d", w, h)
+	}
+	m := &Mesh{w: w, h: h, kind: kind}
+	n := w * h
+	m.linkIdx = make([][4]int, n)
+	for t := range m.linkIdx {
+		m.linkIdx[t] = [4]int{-1, -1, -1, -1}
+	}
+	idx := 0
+	for t := 0; t < n; t++ {
+		for d := East; d <= North; d++ {
+			if _, ok := m.step(TileID(t), d); ok {
+				m.linkIdx[t][d] = idx
+				idx++
+			}
+		}
+	}
+	m.numLinks = idx
+	return m, nil
+}
+
+// W returns the mesh width (number of columns).
+func (m *Mesh) W() int { return m.w }
+
+// H returns the mesh height (number of rows).
+func (m *Mesh) H() int { return m.h }
+
+// Kind reports whether the grid is a mesh or a torus.
+func (m *Mesh) Kind() Kind { return m.kind }
+
+// NumTiles returns W*H, the n of Definition 3.
+func (m *Mesh) NumTiles() int { return m.w * m.h }
+
+// NumLinks returns the number of directed inter-tile links.
+func (m *Mesh) NumLinks() int { return m.numLinks }
+
+// Valid reports whether t is a tile of this mesh.
+func (m *Mesh) Valid(t TileID) bool { return int(t) >= 0 && int(t) < m.w*m.h }
+
+// Coord returns the grid position of tile t.
+func (m *Mesh) Coord(t TileID) Coord {
+	return Coord{X: int(t) % m.w, Y: int(t) / m.w}
+}
+
+// Tile returns the tile at position (x, y). Panics if out of range; use
+// Valid/InBounds when the coordinates are untrusted.
+func (m *Mesh) Tile(x, y int) TileID {
+	if x < 0 || x >= m.w || y < 0 || y >= m.h {
+		panic(fmt.Sprintf("topology: tile (%d,%d) outside %dx%d", x, y, m.w, m.h))
+	}
+	return TileID(y*m.w + x)
+}
+
+// TileName returns the paper-style name of tile t: τ1..τn, row-major.
+func (m *Mesh) TileName(t TileID) string { return fmt.Sprintf("t%d", int(t)+1) }
+
+// step returns the neighbouring tile in direction d, if any.
+func (m *Mesh) step(t TileID, d Direction) (TileID, bool) {
+	c := m.Coord(t)
+	switch d {
+	case East:
+		c.X++
+	case West:
+		c.X--
+	case South:
+		c.Y++
+	case North:
+		c.Y--
+	}
+	if m.kind == KindTorus {
+		c.X = (c.X + m.w) % m.w
+		c.Y = (c.Y + m.h) % m.h
+		if nt := m.Tile(c.X, c.Y); nt != t { // a 1-wide torus has no self links
+			return nt, true
+		}
+		return 0, false
+	}
+	if c.X < 0 || c.X >= m.w || c.Y < 0 || c.Y >= m.h {
+		return 0, false
+	}
+	return m.Tile(c.X, c.Y), true
+}
+
+// Neighbor returns the tile reached from t in direction d, if the link
+// exists.
+func (m *Mesh) Neighbor(t TileID, d Direction) (TileID, bool) { return m.step(t, d) }
+
+// LinkIndex returns the dense index in [0, NumLinks) of the directed link
+// from tile `from` to the adjacent tile `to`. ok is false if the tiles are
+// not adjacent.
+func (m *Mesh) LinkIndex(from, to TileID) (int, bool) {
+	if !m.Valid(from) || !m.Valid(to) {
+		return 0, false
+	}
+	for d := East; d <= North; d++ {
+		if nt, ok := m.step(from, d); ok && nt == to {
+			return m.linkIdx[from][d], true
+		}
+	}
+	return 0, false
+}
+
+// LinkEnds returns, for a dense link index, its (from, to) tile pair.
+// It is the inverse of LinkIndex and is O(NumLinks); intended for
+// reporting, not hot paths.
+func (m *Mesh) LinkEnds(idx int) (from, to TileID, ok bool) {
+	for t := 0; t < m.NumTiles(); t++ {
+		for d := East; d <= North; d++ {
+			if m.linkIdx[t][d] == idx {
+				nt, _ := m.step(TileID(t), d)
+				return TileID(t), nt, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// MinHops returns the minimum number of inter-tile links between two tiles
+// (Manhattan distance, with wrap-around shortcuts on a torus).
+func (m *Mesh) MinHops(a, b TileID) int {
+	ca, cb := m.Coord(a), m.Coord(b)
+	dx := abs(ca.X - cb.X)
+	dy := abs(ca.Y - cb.Y)
+	if m.kind == KindTorus {
+		if wrapped := m.w - dx; wrapped < dx {
+			dx = wrapped
+		}
+		if wrapped := m.h - dy; wrapped < dy {
+			dy = wrapped
+		}
+	}
+	return dx + dy
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

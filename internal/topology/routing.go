@@ -1,0 +1,121 @@
+package topology
+
+import "fmt"
+
+// RoutingAlgo selects the deterministic routing function. The paper uses
+// XY (route fully in the X dimension, then in Y); YX is the symmetric
+// extension. Both are minimal and deadlock-free on a mesh.
+type RoutingAlgo int
+
+const (
+	// RouteXY resolves the X offset first, then Y (the paper's choice).
+	RouteXY RoutingAlgo = iota
+	// RouteYX resolves the Y offset first, then X.
+	RouteYX
+)
+
+func (r RoutingAlgo) String() string {
+	if r == RouteYX {
+		return "YX"
+	}
+	return "XY"
+}
+
+// ParseRoutingAlgo converts "xy"/"yx" (case-insensitive) to a RoutingAlgo.
+func ParseRoutingAlgo(s string) (RoutingAlgo, error) {
+	switch s {
+	case "xy", "XY", "Xy", "xY":
+		return RouteXY, nil
+	case "yx", "YX", "Yx", "yX":
+		return RouteYX, nil
+	}
+	return 0, fmt.Errorf("topology: unknown routing algorithm %q", s)
+}
+
+// Route is the ordered list of routers a packet traverses from source tile
+// to destination tile, both inclusive. K = len(Tiles) is the router count
+// of equations (2) and (6)-(8); the packet additionally crosses K-1
+// inter-tile links plus the two core↔router links at the end points.
+type Route struct {
+	Tiles []TileID
+}
+
+// K returns the number of routers traversed.
+func (r Route) K() int { return len(r.Tiles) }
+
+// Hops returns the number of inter-tile links traversed (K-1).
+func (r Route) Hops() int {
+	if len(r.Tiles) == 0 {
+		return 0
+	}
+	return len(r.Tiles) - 1
+}
+
+// Route computes the deterministic path from src to dst under the given
+// algorithm. On a torus each dimension takes its shortest wrap direction
+// (ties broken towards the positive direction). The result always starts
+// at src and ends at dst; for src == dst it is the single-router route.
+func (m *Mesh) Route(algo RoutingAlgo, src, dst TileID) (Route, error) {
+	if !m.Valid(src) || !m.Valid(dst) {
+		return Route{}, fmt.Errorf("topology: route endpoints %d->%d outside %dx%d %s", src, dst, m.w, m.h, m.kind)
+	}
+	tiles := []TileID{src}
+	cur := src
+	stepDim := func(target int, horizontal bool) {
+		for {
+			c := m.Coord(cur)
+			pos, size := c.X, m.w
+			if !horizontal {
+				pos, size = c.Y, m.h
+			}
+			if pos == target {
+				return
+			}
+			dir := chooseDir(pos, target, size, m.kind == KindTorus, horizontal)
+			nt, ok := m.step(cur, dir)
+			if !ok {
+				// Unreachable on well-formed grids; guard keeps the loop finite.
+				return
+			}
+			cur = nt
+			tiles = append(tiles, cur)
+		}
+	}
+	dc := m.Coord(dst)
+	if algo == RouteXY {
+		stepDim(dc.X, true)
+		stepDim(dc.Y, false)
+	} else {
+		stepDim(dc.Y, false)
+		stepDim(dc.X, true)
+	}
+	return Route{Tiles: tiles}, nil
+}
+
+// chooseDir picks the direction that moves pos towards target in a
+// dimension of the given size, using wrap-around when beneficial on a
+// torus.
+func chooseDir(pos, target, size int, torus, horizontal bool) Direction {
+	fwd := target - pos // positive means East (or South)
+	if torus {
+		alt := fwd
+		if fwd > 0 {
+			alt = fwd - size
+		} else {
+			alt = fwd + size
+		}
+		if abs(alt) < abs(fwd) {
+			fwd = alt
+		}
+	}
+	if horizontal {
+		if fwd > 0 {
+			return East
+		}
+		return West
+	}
+	if fwd > 0 {
+		return South
+	}
+	return North
+}

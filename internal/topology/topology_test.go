@@ -1,0 +1,265 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustMesh(t *testing.T, w, h int) *Mesh {
+	t.Helper()
+	m, err := NewMesh(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMeshBasics(t *testing.T) {
+	m := mustMesh(t, 3, 2)
+	if m.NumTiles() != 6 || m.W() != 3 || m.H() != 2 {
+		t.Fatalf("bad dims: %dx%d tiles=%d", m.W(), m.H(), m.NumTiles())
+	}
+	if c := m.Coord(4); c != (Coord{X: 1, Y: 1}) {
+		t.Fatalf("Coord(4) = %+v", c)
+	}
+	if tid := m.Tile(2, 1); tid != 5 {
+		t.Fatalf("Tile(2,1) = %d", tid)
+	}
+	if m.TileName(0) != "t1" || m.TileName(5) != "t6" {
+		t.Fatalf("tile names: %s %s", m.TileName(0), m.TileName(5))
+	}
+}
+
+func TestMeshInvalidDims(t *testing.T) {
+	for _, d := range [][2]int{{0, 3}, {3, 0}, {-1, 2}} {
+		if _, err := NewMesh(d[0], d[1]); err == nil {
+			t.Fatalf("NewMesh(%d,%d) accepted", d[0], d[1])
+		}
+		if _, err := NewTorus(d[0], d[1]); err == nil {
+			t.Fatalf("NewTorus(%d,%d) accepted", d[0], d[1])
+		}
+	}
+}
+
+func TestMeshLinkCount(t *testing.T) {
+	// W×H mesh has 2(W-1)H horizontal + 2W(H-1) vertical directed links.
+	for _, d := range [][2]int{{2, 2}, {3, 2}, {8, 8}, {1, 5}, {12, 10}} {
+		m := mustMesh(t, d[0], d[1])
+		w, h := d[0], d[1]
+		want := 2*(w-1)*h + 2*w*(h-1)
+		if m.NumLinks() != want {
+			t.Fatalf("%dx%d: links=%d want %d", w, h, m.NumLinks(), want)
+		}
+	}
+}
+
+func TestTorusLinkCount(t *testing.T) {
+	// A torus with both dims >= 2... wrap links: every tile has 4 out-links
+	// unless a dimension has size 1 or 2 (size 2 collapses +1/-1 to the
+	// same neighbour but they remain two distinct directed links; size 1
+	// has no link in that dimension).
+	m, err := NewTorus(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumLinks() != 9*4 {
+		t.Fatalf("3x3 torus links=%d want 36", m.NumLinks())
+	}
+}
+
+func TestLinkIndexDenseAndInvertible(t *testing.T) {
+	m := mustMesh(t, 4, 3)
+	seen := make(map[int]bool)
+	for from := TileID(0); int(from) < m.NumTiles(); from++ {
+		for d := East; d <= North; d++ {
+			to, ok := m.Neighbor(from, d)
+			if !ok {
+				continue
+			}
+			idx, ok := m.LinkIndex(from, to)
+			if !ok {
+				t.Fatalf("LinkIndex(%d,%d) missing", from, to)
+			}
+			if seen[idx] {
+				t.Fatalf("duplicate link index %d", idx)
+			}
+			seen[idx] = true
+			gf, gt, ok := m.LinkEnds(idx)
+			if !ok || gf != from || gt != to {
+				t.Fatalf("LinkEnds(%d) = %d,%d,%v want %d,%d", idx, gf, gt, ok, from, to)
+			}
+		}
+	}
+	if len(seen) != m.NumLinks() {
+		t.Fatalf("enumerated %d links, NumLinks=%d", len(seen), m.NumLinks())
+	}
+	if _, ok := m.LinkIndex(0, 5); ok {
+		t.Fatal("non-adjacent tiles have a link")
+	}
+	if _, ok := m.LinkIndex(-1, 0); ok {
+		t.Fatal("invalid tile has a link")
+	}
+}
+
+func TestXYRoutePaper2x2(t *testing.T) {
+	// Mapping (a) of the paper: A@t2, F@t3 on a 2x2 mesh. The XY route
+	// t2 -> t1 -> t3 passes three routers.
+	m := mustMesh(t, 2, 2)
+	r, err := m.Route(RouteXY, 1, 2) // t2 is ID 1, t3 is ID 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TileID{1, 0, 2}
+	if len(r.Tiles) != 3 || r.Tiles[0] != want[0] || r.Tiles[1] != want[1] || r.Tiles[2] != want[2] {
+		t.Fatalf("route = %v, want %v", r.Tiles, want)
+	}
+	if r.K() != 3 || r.Hops() != 2 {
+		t.Fatalf("K=%d hops=%d", r.K(), r.Hops())
+	}
+}
+
+func TestYXRouteIsSymmetric(t *testing.T) {
+	m := mustMesh(t, 3, 3)
+	xy, _ := m.Route(RouteXY, 0, 8)
+	yx, _ := m.Route(RouteYX, 0, 8)
+	// XY: 0,1,2,5,8 — YX: 0,3,6,7,8.
+	if xy.Tiles[1] != 1 || yx.Tiles[1] != 3 {
+		t.Fatalf("xy=%v yx=%v", xy.Tiles, yx.Tiles)
+	}
+	if xy.K() != yx.K() {
+		t.Fatalf("XY and YX disagree on length: %d vs %d", xy.K(), yx.K())
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	m := mustMesh(t, 2, 2)
+	r, err := m.Route(RouteXY, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K() != 1 || r.Hops() != 0 || r.Tiles[0] != 3 {
+		t.Fatalf("self route = %v", r.Tiles)
+	}
+}
+
+func TestRouteInvalidEndpoint(t *testing.T) {
+	m := mustMesh(t, 2, 2)
+	if _, err := m.Route(RouteXY, 0, 9); err == nil {
+		t.Fatal("accepted out-of-range destination")
+	}
+	if _, err := m.Route(RouteXY, -1, 0); err == nil {
+		t.Fatal("accepted out-of-range source")
+	}
+}
+
+func TestTorusWrapRoute(t *testing.T) {
+	m, err := NewTorus(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Route(RouteXY, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrap westwards: 0 -> 3 directly, one hop.
+	if r.Hops() != 1 {
+		t.Fatalf("torus route hops = %d, want 1 (%v)", r.Hops(), r.Tiles)
+	}
+	if m.MinHops(0, 3) != 1 {
+		t.Fatalf("MinHops = %d", m.MinHops(0, 3))
+	}
+}
+
+func TestParseRoutingAlgo(t *testing.T) {
+	if a, err := ParseRoutingAlgo("xy"); err != nil || a != RouteXY {
+		t.Fatalf("parse xy: %v %v", a, err)
+	}
+	if a, err := ParseRoutingAlgo("YX"); err != nil || a != RouteYX {
+		t.Fatalf("parse YX: %v %v", a, err)
+	}
+	if _, err := ParseRoutingAlgo("adaptive"); err == nil {
+		t.Fatal("accepted unknown algorithm")
+	}
+	if RouteXY.String() != "XY" || RouteYX.String() != "YX" {
+		t.Fatal("String() mismatch")
+	}
+	if KindMesh.String() != "mesh" || KindTorus.String() != "torus" {
+		t.Fatal("Kind.String() mismatch")
+	}
+}
+
+// Property: XY routes on a mesh are minimal, contiguous and deterministic.
+func TestQuickXYRouteMinimalAndContiguous(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 1+rng.Intn(10), 1+rng.Intn(10)
+		m, err := NewMesh(w, h)
+		if err != nil {
+			return false
+		}
+		src := TileID(rng.Intn(m.NumTiles()))
+		dst := TileID(rng.Intn(m.NumTiles()))
+		r, err := m.Route(RouteXY, src, dst)
+		if err != nil {
+			return false
+		}
+		if r.Tiles[0] != src || r.Tiles[len(r.Tiles)-1] != dst {
+			return false
+		}
+		if r.Hops() != m.MinHops(src, dst) {
+			return false
+		}
+		for i := 0; i+1 < len(r.Tiles); i++ {
+			if _, ok := m.LinkIndex(r.Tiles[i], r.Tiles[i+1]); !ok {
+				return false
+			}
+		}
+		// Determinism.
+		r2, _ := m.Route(RouteXY, src, dst)
+		if len(r2.Tiles) != len(r.Tiles) {
+			return false
+		}
+		for i := range r.Tiles {
+			if r.Tiles[i] != r2.Tiles[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: torus routes are minimal too (wrap-aware Manhattan distance).
+func TestQuickTorusRouteMinimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 2+rng.Intn(8), 2+rng.Intn(8)
+		m, err := NewTorus(w, h)
+		if err != nil {
+			return false
+		}
+		src := TileID(rng.Intn(m.NumTiles()))
+		dst := TileID(rng.Intn(m.NumTiles()))
+		r, err := m.Route(RouteXY, src, dst)
+		if err != nil {
+			return false
+		}
+		return r.Hops() == m.MinHops(src, dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTilePanicsOutOfRange(t *testing.T) {
+	m := mustMesh(t, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Tile(5,5) did not panic")
+		}
+	}()
+	m.Tile(5, 5)
+}

@@ -1,0 +1,541 @@
+package wormhole
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/noc"
+	"repro/internal/topology"
+)
+
+// ResourceKind classifies the NoC resources tracked by the simulator.
+type ResourceKind int
+
+// Resource kinds.
+//
+// Routers are crossbars: packets only contend when they request the same
+// OUTPUT port. (The paper's Figure 3(a) shows A→B and B→F overlapping in
+// router τ1 — different outputs — while A→F stalls behind B→F, which holds
+// the same τ1→τ3 output.) KindRouterPort is therefore the exclusive
+// resource: index = tile*NumPorts + direction, with direction 0..3 the
+// topology directions and 4 the local (core) port. KindRouter is the
+// display view of a router: the union of its ports' traffic, each span
+// stretched back to the packet's arrival (time spent waiting in the input
+// buffer included), exactly like the paper's router annotations; those
+// spans may overlap.
+//
+// CoreOut is the link from an IP core into its local router; CoreIn the
+// link from a router down to its core. They are distinct full-duplex
+// resources: Figure 3 shows a core's outgoing and incoming packets
+// overlapping in time.
+const (
+	KindRouter ResourceKind = iota
+	KindRouterPort
+	KindLink
+	KindCoreOut
+	KindCoreIn
+)
+
+// NumPorts is the number of output ports per router: E, W, S, N, Local.
+const NumPorts = 5
+
+// LocalPort is the output-port index of the router→core direction.
+const LocalPort = 4
+
+func (k ResourceKind) String() string {
+	switch k {
+	case KindRouter:
+		return "router"
+	case KindRouterPort:
+		return "router-port"
+	case KindLink:
+		return "link"
+	case KindCoreOut:
+		return "core-out"
+	case KindCoreIn:
+		return "core-in"
+	}
+	return "?"
+}
+
+// PacketSchedule is the simulated timeline of one CDCG packet.
+type PacketSchedule struct {
+	ID model.PacketID
+	// Ready is the cycle at which every dependence was satisfied (0 for
+	// packets that only depend on Start).
+	Ready int64
+	// Start is Ready + the packet's computation time: the cycle the first
+	// flit enters the source core's output link.
+	Start int64
+	// Delivered is the cycle the last flit reaches the destination core.
+	Delivered int64
+	// Contention is the total stall time in cycles spent waiting for busy
+	// output ports (and, degenerately, links) along the route.
+	Contention int64
+	// K is the number of routers traversed.
+	K int
+	// Flits is the packet length in flits.
+	Flits int64
+}
+
+// ComputeDelay returns Start-Ready (the paper's "computation delay").
+func (p PacketSchedule) ComputeDelay() int64 { return p.Start - p.Ready }
+
+// Result is the outcome of simulating one CDCG on one mapping.
+type Result struct {
+	// ExecCycles is texec: the cycle the last packet is delivered.
+	ExecCycles int64
+	// Packets holds one schedule per CDCG packet, indexed by PacketID.
+	Packets []PacketSchedule
+	// RouterBits[t] is the total bit volume that traversed the router of
+	// tile t (feeds the ERbit term of the energy model).
+	RouterBits []int64
+	// LinkBits[l] is the total bit volume that traversed inter-tile link
+	// l (dense link index; feeds the ELbit term).
+	LinkBits []int64
+	// CoreBits is the total bit volume over core↔router links (2 per
+	// packet; feeds the optional ECbit term).
+	CoreBits int64
+	// TotalContention is the sum of all packet contention delays.
+	TotalContention int64
+
+	occ *occStore // nil unless the run recorded occupancies
+}
+
+// occStore holds per-resource occupancy lists for rendering/analysis runs.
+type occStore struct {
+	routerSpans []busyList // display spans incl. buffer wait; may overlap
+	ports       []busyList
+	links       []busyList
+	coreOut     []busyList
+	coreIn      []busyList
+}
+
+// Occupancies returns the recorded busy intervals of a resource, sorted by
+// start time, or nil if the run did not record them (RecordOccupancy was
+// false) or the resource index is out of range. For KindRouter the
+// intervals include input-buffer waiting and may overlap; all other kinds
+// are exclusive and never overlap.
+func (r *Result) Occupancies(kind ResourceKind, index int) []Occupancy {
+	if r.occ == nil {
+		return nil
+	}
+	var ls []busyList
+	switch kind {
+	case KindRouter:
+		ls = r.occ.routerSpans
+	case KindRouterPort:
+		ls = r.occ.ports
+	case KindLink:
+		ls = r.occ.links
+	case KindCoreOut:
+		ls = r.occ.coreOut
+	case KindCoreIn:
+		ls = r.occ.coreIn
+	}
+	if index < 0 || index >= len(ls) {
+		return nil
+	}
+	return ls[index].snapshot()
+}
+
+// Simulator evaluates mappings of one CDCG on one NoC. It is reusable: Run
+// may be called many times with different mappings (the annealer's hot
+// path); scratch state is recycled between runs. A Simulator is not safe
+// for concurrent use; create one per goroutine.
+type Simulator struct {
+	Mesh *topology.Mesh
+	Cfg  noc.Config
+	G    *model.CDCG
+
+	// RecordOccupancy keeps the per-resource busy lists on the Result for
+	// rendering (Figure 3/4/5 style output). Leave false in search loops.
+	RecordOccupancy bool
+
+	dg          *graph.Digraph
+	ports       []busyList
+	links       []busyList
+	coreOut     []busyList
+	coreIn      []busyList
+	routerSpans []busyList // only filled when RecordOccupancy
+	indeg       []int
+	ready       []int64
+	routes      [][]topology.TileID // dense [src*n+dst] route cache
+	heap        pktHeap
+	flits       []int64
+	hops        []hopPlan
+	initOnce    bool
+}
+
+// hopPlan is one resource traversal of the packet currently being routed:
+// computed during the plan pass, booked during the commit pass.
+type hopPlan struct {
+	list   *busyList
+	t      int64 // acquisition time
+	stall  int64 // t - arrival (only >0 on arbitrated resources)
+	hold   int64 // busy through [t, t+hold]
+	isPort bool  // router output port (where input buffering happens)
+}
+
+// plan computes the acquisition time of one hop. With unbounded buffers
+// (the default) the hop is booked immediately — occupancies never change
+// after the fact, so the extra plan/commit pass would be wasted work on
+// the annealer's hot path. With bounded buffers the hop is appended to
+// the plan and booked by the commit pass after backpressure extensions.
+// Unarbitrated resources acquire at arrival regardless of existing
+// bookings.
+func (s *Simulator) plan(list *busyList, arrival, hold int64, arbitrated, isPort bool, pkt model.PacketID) int64 {
+	if s.Cfg.Buffers != noc.BuffersBounded {
+		if arbitrated {
+			return list.acquire(arrival, hold, pkt)
+		}
+		list.record(arrival, hold, pkt)
+		return arrival
+	}
+	t := arrival
+	if arbitrated {
+		t = list.earliestFree(arrival, hold)
+	}
+	s.hops = append(s.hops, hopPlan{list: list, t: t, stall: t - arrival, hold: hold, isPort: isPort})
+	return t
+}
+
+// applyBackpressure models bounded router input buffers: when a packet
+// waits S cycles at an output port, up to BufferFlits of its flits are
+// absorbed by the input buffer; any excess occupies the hop immediately
+// upstream (the feeding link — and transitively the port feeding that
+// link) for the overflow duration. This is a one-packet-deep analytic
+// approximation of wormhole backpressure: extended occupancies delay
+// later packets via earliest-fit, but intervals already booked by earlier
+// packets are not re-planned (an exact treatment needs flit-level
+// simulation; see DESIGN.md). With unbounded buffers it is a no-op.
+func (s *Simulator) applyBackpressure(tl int64) {
+	if s.Cfg.Buffers != noc.BuffersBounded {
+		return
+	}
+	capCycles := s.Cfg.BufferFlits * tl
+	for i := range s.hops {
+		hp := &s.hops[i]
+		if !hp.isPort || hp.stall <= capCycles {
+			continue
+		}
+		overflow := hp.stall - capCycles
+		// Extend the feeding link (hop i-1) and, if present, the port
+		// driving that link (hop i-2).
+		for back := 1; back <= 2 && i-back >= 0; back++ {
+			s.hops[i-back].hold += overflow
+		}
+	}
+}
+
+// NewSimulator validates the inputs and prepares a reusable simulator.
+func NewSimulator(mesh *topology.Mesh, cfg noc.Config, g *model.CDCG) (*Simulator, error) {
+	if mesh == nil {
+		return nil, errors.New("wormhole: nil mesh")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumCores() > mesh.NumTiles() {
+		return nil, fmt.Errorf("wormhole: %d cores exceed %d tiles", g.NumCores(), mesh.NumTiles())
+	}
+	dg, err := g.DepGraph()
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{Mesh: mesh, Cfg: cfg, G: g, dg: dg}
+	n := mesh.NumTiles()
+	s.ports = make([]busyList, n*NumPorts)
+	s.links = make([]busyList, mesh.NumLinks())
+	s.coreOut = make([]busyList, n)
+	s.coreIn = make([]busyList, n)
+	s.routerSpans = make([]busyList, n)
+	s.indeg = make([]int, g.NumPackets())
+	s.ready = make([]int64, g.NumPackets())
+	s.routes = make([][]topology.TileID, n*n)
+	s.flits = make([]int64, g.NumPackets())
+	for i, p := range g.Packets {
+		s.flits[i] = cfg.Flits(p.Bits)
+	}
+	s.initOnce = true
+	return s, nil
+}
+
+// route returns the (cached) deterministic route between two tiles.
+func (s *Simulator) route(src, dst topology.TileID) []topology.TileID {
+	idx := int(src)*s.Mesh.NumTiles() + int(dst)
+	if r := s.routes[idx]; r != nil {
+		return r
+	}
+	r, err := s.Mesh.Route(s.Cfg.Routing, src, dst)
+	if err != nil {
+		// Unreachable: endpoints are validated tiles of the same mesh.
+		panic(err)
+	}
+	s.routes[idx] = r.Tiles
+	return r.Tiles
+}
+
+// portIndex returns the dense output-port index for leaving tile `from`
+// towards adjacent tile `to`, or the local port when to == from.
+func (s *Simulator) portIndex(from, to topology.TileID) (int, error) {
+	if from == to {
+		return int(from)*NumPorts + LocalPort, nil
+	}
+	for d := topology.East; d <= topology.North; d++ {
+		if nt, ok := s.Mesh.Neighbor(from, d); ok && nt == to {
+			return int(from)*NumPorts + int(d), nil
+		}
+	}
+	return 0, fmt.Errorf("wormhole: tiles %d and %d are not adjacent", from, to)
+}
+
+// Run simulates the CDCG under the given mapping and returns the schedule.
+func (s *Simulator) Run(mp mapping.Mapping) (*Result, error) {
+	if !s.initOnce {
+		return nil, errors.New("wormhole: use NewSimulator")
+	}
+	if len(mp) != s.G.NumCores() {
+		return nil, fmt.Errorf("wormhole: mapping covers %d cores, CDCG has %d", len(mp), s.G.NumCores())
+	}
+	if err := mp.Validate(s.Mesh.NumTiles()); err != nil {
+		return nil, err
+	}
+
+	np := s.G.NumPackets()
+	res := &Result{
+		Packets:    make([]PacketSchedule, np),
+		RouterBits: make([]int64, s.Mesh.NumTiles()),
+		LinkBits:   make([]int64, len(s.links)),
+	}
+	for i := range s.ports {
+		s.ports[i].reset()
+	}
+	for i := range s.links {
+		s.links[i].reset()
+	}
+	for i := range s.coreOut {
+		s.coreOut[i].reset()
+		s.coreIn[i].reset()
+		s.routerSpans[i].reset()
+	}
+	s.heap.reset()
+	for p := 0; p < np; p++ {
+		s.indeg[p] = s.dg.InDegree(p)
+		s.ready[p] = 0
+		if s.indeg[p] == 0 {
+			s.heap.push(pktKey{start: s.G.Packets[p].Compute, id: model.PacketID(p)})
+		}
+	}
+
+	tr, tl := s.Cfg.RoutingCycles, s.Cfg.LinkCycles
+	scheduled := 0
+	for s.heap.len() > 0 {
+		k := s.heap.pop()
+		p := int(k.id)
+		pkt := &s.G.Packets[p]
+		nFlits := s.flits[p]
+		srcTile, dstTile := mp[pkt.Src], mp[pkt.Dst]
+		tiles := s.route(srcTile, dstTile)
+
+		linkHold := nFlits * tl
+		portHold := tr + (nFlits-1)*tl
+
+		// Plan pass: walk the route head-first, computing acquisition
+		// times without booking anything (the hops of one packet touch
+		// distinct resources, so peek-then-book is exact).
+		s.hops = s.hops[:0]
+		var contention int64
+		h := k.start // header enters the source core's output link
+
+		// Source core -> local router link. Core links are timed but not
+		// arbitrated under the paper's CRG semantics (ArbitrateLocal
+		// false); see noc.Config.ArbitrateLocal.
+		t := s.plan(&s.coreOut[srcTile], h, linkHold, s.Cfg.ArbitrateLocal, false, k.id)
+		contention += t - h
+		h = t + tl
+
+		// Routers (output-port arbitration) and the links they feed.
+		var delivered int64
+		for i, tile := range tiles {
+			arrival := h
+			next := tile // == tile signals the local (core) port
+			if i+1 < len(tiles) {
+				next = tiles[i+1]
+			}
+			pi, err := s.portIndex(tile, next)
+			if err != nil {
+				return nil, err
+			}
+			local := next == tile
+			// Paper-faithful: the local output port is timed but not
+			// arbitrated (Figure 3(b) shows overlapping deliveries).
+			t = s.plan(&s.ports[pi], h, portHold, !local || s.Cfg.ArbitrateLocal, true, k.id)
+			contention += t - h
+			portEnd := t + portHold
+			h = t + tr
+			res.RouterBits[tile] += pkt.Bits
+			if s.RecordOccupancy {
+				// Display span: from arrival (incl. buffer wait) to the
+				// last flit leaving the router — the paper's annotation.
+				s.routerSpans[tile].iv = append(s.routerSpans[tile].iv,
+					Occupancy{Packet: k.id, Start: arrival, End: portEnd})
+			}
+			if i+1 < len(tiles) {
+				li, ok := s.Mesh.LinkIndex(tile, tiles[i+1])
+				if !ok {
+					return nil, fmt.Errorf("wormhole: route step %d->%d is not a link", tile, tiles[i+1])
+				}
+				t = s.plan(&s.links[li], h, linkHold, true, false, k.id)
+				contention += t - h
+				h = t + tl
+				res.LinkBits[li] += pkt.Bits
+			} else {
+				// Local router -> destination core link; delivery is when
+				// the last flit crosses it.
+				t = s.plan(&s.coreIn[dstTile], h, linkHold, s.Cfg.ArbitrateLocal, false, k.id)
+				contention += t - h
+				delivered = t + linkHold
+			}
+		}
+		s.applyBackpressure(tl)
+		// Commit pass: book every hop (including any backpressure
+		// extensions) so later packets see the occupancy.
+		for i := range s.hops {
+			hp := &s.hops[i]
+			hp.list.record(hp.t, hp.hold, k.id)
+		}
+		res.CoreBits += 2 * pkt.Bits
+
+		res.Packets[p] = PacketSchedule{
+			ID:         k.id,
+			Ready:      k.start - pkt.Compute,
+			Start:      k.start,
+			Delivered:  delivered,
+			Contention: contention,
+			K:          len(tiles),
+			Flits:      nFlits,
+		}
+		res.TotalContention += contention
+		if delivered > res.ExecCycles {
+			res.ExecCycles = delivered
+		}
+		scheduled++
+
+		for _, succ := range s.dg.Succ(p) {
+			if delivered > s.ready[succ] {
+				s.ready[succ] = delivered
+			}
+			s.indeg[succ]--
+			if s.indeg[succ] == 0 {
+				s.heap.push(pktKey{
+					start: s.ready[succ] + s.G.Packets[succ].Compute,
+					id:    model.PacketID(succ),
+				})
+			}
+		}
+	}
+	if scheduled != np {
+		return nil, errors.New("wormhole: dependence deadlock (cyclic CDCG)")
+	}
+
+	if s.RecordOccupancy {
+		for i := range s.routerSpans {
+			sortOcc(s.routerSpans[i].iv)
+		}
+		res.occ = &occStore{
+			routerSpans: snapshotAll(s.routerSpans),
+			ports:       snapshotAll(s.ports),
+			links:       snapshotAll(s.links),
+			coreOut:     snapshotAll(s.coreOut),
+			coreIn:      snapshotAll(s.coreIn),
+		}
+	}
+	return res, nil
+}
+
+// sortOcc sorts occupancies by (Start, Packet) via insertion sort; display
+// lists are short.
+func sortOcc(a []Occupancy) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0; j-- {
+			if a[j].Start < a[j-1].Start ||
+				(a[j].Start == a[j-1].Start && a[j].Packet < a[j-1].Packet) {
+				a[j], a[j-1] = a[j-1], a[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+func snapshotAll(ls []busyList) []busyList {
+	out := make([]busyList, len(ls))
+	for i := range ls {
+		out[i] = busyList{iv: ls[i].snapshot()}
+	}
+	return out
+}
+
+// pktKey orders packets by transmission start time, tie-broken by ID so
+// runs are fully deterministic.
+type pktKey struct {
+	start int64
+	id    model.PacketID
+}
+
+func (a pktKey) less(b pktKey) bool {
+	if a.start != b.start {
+		return a.start < b.start
+	}
+	return a.id < b.id
+}
+
+// pktHeap is a binary min-heap of pktKey.
+type pktHeap struct{ a []pktKey }
+
+func (h *pktHeap) reset()   { h.a = h.a[:0] }
+func (h *pktHeap) len() int { return len(h.a) }
+
+func (h *pktHeap) push(k pktKey) {
+	h.a = append(h.a, k)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.a[i].less(h.a[p]) {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *pktHeap) pop() pktKey {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h.a) && h.a[l].less(h.a[m]) {
+			m = l
+		}
+		if r < len(h.a) && h.a[r].less(h.a[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+	return top
+}
