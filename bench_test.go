@@ -11,9 +11,11 @@ package repro_test
 // reference [4].
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
+	"repro/internal/appgen"
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/exp"
@@ -326,6 +328,103 @@ func BenchmarkAnnealer(b *testing.B) {
 		}
 	}
 }
+
+// parallelInstance is the workers=1-vs-N benchmark workload: a generated
+// 8-core app with parallel dependence chains on a 4x4 mesh (half-empty,
+// so swaps move cores across real distance and contention varies with
+// placement).
+func parallelInstance(b *testing.B) (*topology.Mesh, noc.Config, *model.CDCG) {
+	b.Helper()
+	mesh, err := topology.NewMesh(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := appgen.Generate(appgen.Params{
+		Name: "bench-8core", Cores: 8, Packets: 64, TotalBits: 40000, Seed: 42, Chains: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mesh, noc.Default(), g
+}
+
+// benchCompareModels runs the full Table-2 protocol on the 4x4 instance
+// with the given worker count. With workers=1 every leg runs serially;
+// with workers=NumCPU the CWM leg and both per-tech CDCM explorations
+// run concurrently, which is where the >=2x wall-clock win comes from on
+// multi-core hardware (the result itself is bit-identical either way —
+// see TestCompareModelsDeterministicAcrossWorkers).
+func benchCompareModels(b *testing.B, workers int) {
+	mesh, cfg, g := parallelInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmp, err := core.CompareModels(mesh, cfg, g, core.CompareOptions{
+			Options: core.Options{
+				Method: core.MethodSA, Seed: 1, TempSteps: 40, Workers: workers,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cmp.CDCMMappings) == 0 {
+			b.Fatal("empty comparison")
+		}
+	}
+}
+
+func BenchmarkCompareModelsWorkers1(b *testing.B) { benchCompareModels(b, 1) }
+func BenchmarkCompareModelsWorkersN(b *testing.B) { benchCompareModels(b, runtime.NumCPU()) }
+
+// benchMultiRestartSA runs an 8-restart CDCM annealing on the 4x4
+// instance. Restarts are fixed, so workers=1 and workers=N do the same
+// work and find the same mapping; N workers split the restarts.
+func benchMultiRestartSA(b *testing.B, workers int) {
+	mesh, cfg, g := parallelInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Explore(core.StrategyCDCM, mesh, cfg, energy.Tech007, g, core.Options{
+			Method: core.MethodSA, Seed: 1, TempSteps: 30, Restarts: 8, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Search.BestCost <= 0 {
+			b.Fatal("no cost")
+		}
+	}
+}
+
+func BenchmarkMultiRestartSAWorkers1(b *testing.B) { benchMultiRestartSA(b, 1) }
+func BenchmarkMultiRestartSAWorkersN(b *testing.B) { benchMultiRestartSA(b, runtime.NumCPU()) }
+
+// benchShardedES certifies the optimum for 5 cores on a 3x3 mesh
+// (9!/4! = 15120 placements) under the CWM objective, serial vs sharded.
+func benchShardedES(b *testing.B, workers int) {
+	mesh, err := topology.NewMesh(3, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := appgen.Generate(appgen.Params{
+		Name: "bench-5core", Cores: 5, Packets: 24, TotalBits: 9000, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Explore(core.StrategyCWM, mesh, noc.Default(), energy.Tech007, g,
+			core.Options{Method: core.MethodES, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Search.Certified {
+			b.Fatal("not certified")
+		}
+	}
+}
+
+func BenchmarkShardedESWorkers1(b *testing.B) { benchShardedES(b, 1) }
+func BenchmarkShardedESWorkersN(b *testing.B) { benchShardedES(b, runtime.NumCPU()) }
 
 // BenchmarkWormholeSimLarge measures one CDCM simulation of the largest
 // Table-1 instance (99 cores, 446 packets on 12x10).

@@ -10,13 +10,15 @@
 //	nocexp -exp vsrandom                # guided mapping vs random ([4])
 //	nocexp -exp all
 //
-// Every run is deterministic for a given -seed/-seeds.
+// Every run is deterministic for a given -seed/-seeds: -workers only
+// changes how many goroutines share the work, never the results.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -33,16 +35,17 @@ func main() {
 		esMax    = flag.Int64("esmax", 50000, "max placements for exhaustive search (esvssa)")
 		samples  = flag.Int("samples", 100, "random-mapping samples (vsrandom)")
 		seed     = flag.Int64("seed", 1, "base random seed")
+		workers  = flag.Int("workers", runtime.NumCPU(), "parallel worker goroutines (results are seed-deterministic for any value)")
 	)
 	flag.Parse()
 
-	if err := run(*which, *seeds, *steps, *moves, *maxTiles, *esMax, *samples, *seed); err != nil {
+	if err := run(*which, *seeds, *steps, *moves, *maxTiles, *esMax, *samples, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "nocexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, seeds, steps, moves, maxTiles int, esMax int64, samples int, seed int64) error {
+func run(which string, seeds, steps, moves, maxTiles int, esMax int64, samples int, seed int64, workers int) error {
 	suite, err := exp.Table1Suite()
 	if err != nil {
 		return err
@@ -83,10 +86,14 @@ func run(which string, seeds, steps, moves, maxTiles int, esMax int64, samples i
 		}
 	}
 	if do("table2") {
+		// Parallelism goes to the batch level only: handing -workers to
+		// Search.Workers as well would stack CompareModels' concurrent
+		// legs on top of the already-saturated workload pool.
 		rep, err := exp.RunTable2(suite, exp.Table2Options{
 			Search:   core.Options{Method: core.MethodSA, TempSteps: steps, MovesPerTemp: moves},
 			Seeds:    seedList,
 			MaxTiles: maxTiles,
+			Workers:  workers,
 		})
 		if err != nil {
 			return err
@@ -122,7 +129,7 @@ func run(which string, seeds, steps, moves, maxTiles int, esMax int64, samples i
 			}
 		}
 		outs, err := exp.RunBuffers(small, noc.Config{}, nil,
-			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves})
+			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves, Workers: workers})
 		if err != nil {
 			return err
 		}
@@ -136,7 +143,7 @@ func run(which string, seeds, steps, moves, maxTiles int, esMax int64, samples i
 			}
 		}
 		outs, err := exp.RunAblations(small, nil,
-			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves})
+			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves, Workers: workers})
 		if err != nil {
 			return err
 		}
@@ -149,7 +156,7 @@ func run(which string, seeds, steps, moves, maxTiles int, esMax int64, samples i
 				small = append(small, w)
 			}
 		}
-		outs, err := exp.RunSensitivity(small, noc.Config{}, samples, seed)
+		outs, err := exp.RunSensitivity(small, noc.Config{}, samples, seed, workers)
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
@@ -36,17 +37,19 @@ func main() {
 		gantt    = flag.Bool("gantt", false, "print the timing diagram of the winning mapping")
 		annotate = flag.Bool("annotate", false, "print per-resource occupancy annotations")
 		flits    = flag.Int("flitbits", 1, "link width in bits per flit")
+		restarts = flag.Int("restarts", 1, "independent SA restarts (seeds seed..seed+n-1, best wins)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "parallel worker goroutines (results are seed-deterministic for any value)")
 	)
 	flag.Parse()
 	if err := run(*appPath, *demo, *meshSpec, *modelSel, *method, *techSel, *routing,
-		*seed, *gantt, *annotate, *flits); err != nil {
+		*seed, *gantt, *annotate, *flits, *restarts, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "nocmap:", err)
 		os.Exit(1)
 	}
 }
 
 func run(appPath string, demo bool, meshSpec, modelSel, method, techSel, routing string,
-	seed int64, gantt, annotate bool, flits int) error {
+	seed int64, gantt, annotate bool, flits, restarts, workers int) error {
 
 	var g *model.CDCG
 	switch {
@@ -94,21 +97,17 @@ func run(appPath string, demo bool, meshSpec, modelSel, method, techSel, routing
 		return fmt.Errorf("unknown tech %q", techSel)
 	}
 
-	var strategy core.Strategy
-	switch modelSel {
-	case "cwm":
-		strategy = core.StrategyCWM
-	case "cdcm":
-		strategy = core.StrategyCDCM
-	default:
-		return fmt.Errorf("unknown model %q", modelSel)
+	strategy, err := core.ParseStrategy(modelSel)
+	if err != nil {
+		return err
 	}
 	m, err := core.ParseMethod(method)
 	if err != nil {
 		return err
 	}
 
-	res, err := core.Explore(strategy, mesh, cfg, tech, g, core.Options{Method: m, Seed: seed})
+	res, err := core.Explore(strategy, mesh, cfg, tech, g,
+		core.Options{Method: m, Seed: seed, Restarts: restarts, Workers: workers})
 	if err != nil {
 		return err
 	}

@@ -54,11 +54,11 @@ func TestParseMeshErrors(t *testing.T) {
 
 func TestRunDemoEndToEnd(t *testing.T) {
 	// Full CLI path: demo app, ES search, paper tech, with diagrams.
-	if err := run("", true, "2x2", "cdcm", "es", "paper", "xy", 1, true, true, 1); err != nil {
+	if err := run("", true, "2x2", "cdcm", "es", "paper", "xy", 1, true, true, 1, 2, 2); err != nil {
 		t.Fatal(err)
 	}
 	// CWM path too.
-	if err := run("", true, "2x2", "cwm", "sa", "0.07um", "yx", 1, false, false, 16); err != nil {
+	if err := run("", true, "2x2", "cwm", "sa", "0.07um", "yx", 1, false, false, 16, 2, 2); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -70,7 +70,7 @@ func TestRunFromTextAndJSONFiles(t *testing.T) {
 		"name t\ncores a b\npacket p1 a b compute=2 bits=9\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(text, false, "2x1", "cdcm", "es", "paper", "xy", 1, false, false, 1); err != nil {
+	if err := run(text, false, "2x1", "cdcm", "es", "paper", "xy", 1, false, false, 1, 2, 2); err != nil {
 		t.Fatalf("text app: %v", err)
 	}
 	jsonPath := filepath.Join(dir, "app.json")
@@ -81,7 +81,7 @@ func TestRunFromTextAndJSONFiles(t *testing.T) {
 	if err := os.WriteFile(jsonPath, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(jsonPath, false, "2x2", "cwm", "sa", "0.35um", "xy", 1, false, false, 1); err != nil {
+	if err := run(jsonPath, false, "2x2", "cwm", "sa", "0.35um", "xy", 1, false, false, 1, 2, 2); err != nil {
 		t.Fatalf("json app: %v", err)
 	}
 	// A JSON payload under a text extension must be rejected cleanly.
@@ -89,7 +89,7 @@ func TestRunFromTextAndJSONFiles(t *testing.T) {
 	if err := os.WriteFile(badPath, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(badPath, false, "2x2", "cdcm", "sa", "paper", "xy", 1, false, false, 1); err == nil {
+	if err := run(badPath, false, "2x2", "cdcm", "sa", "paper", "xy", 1, false, false, 1, 2, 2); err == nil {
 		t.Fatal("JSON-in-text accepted")
 	}
 }
@@ -99,13 +99,13 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		name string
 		err  func() error
 	}{
-		{"no app", func() error { return run("", false, "", "cdcm", "sa", "paper", "xy", 1, false, false, 1) }},
-		{"bad model", func() error { return run("", true, "", "xxx", "sa", "paper", "xy", 1, false, false, 1) }},
-		{"bad method", func() error { return run("", true, "", "cdcm", "xxx", "paper", "xy", 1, false, false, 1) }},
-		{"bad tech", func() error { return run("", true, "", "cdcm", "sa", "90nm", "xy", 1, false, false, 1) }},
-		{"bad routing", func() error { return run("", true, "", "cdcm", "sa", "paper", "zz", 1, false, false, 1) }},
+		{"no app", func() error { return run("", false, "", "cdcm", "sa", "paper", "xy", 1, false, false, 1, 2, 2) }},
+		{"bad model", func() error { return run("", true, "", "xxx", "sa", "paper", "xy", 1, false, false, 1, 2, 2) }},
+		{"bad method", func() error { return run("", true, "", "cdcm", "xxx", "paper", "xy", 1, false, false, 1, 2, 2) }},
+		{"bad tech", func() error { return run("", true, "", "cdcm", "sa", "90nm", "xy", 1, false, false, 1, 2, 2) }},
+		{"bad routing", func() error { return run("", true, "", "cdcm", "sa", "paper", "zz", 1, false, false, 1, 2, 2) }},
 		{"missing file", func() error {
-			return run("/nonexistent.json", false, "", "cdcm", "sa", "paper", "xy", 1, false, false, 1)
+			return run("/nonexistent.json", false, "", "cdcm", "sa", "paper", "xy", 1, false, false, 1, 2, 2)
 		}},
 	}
 	for _, tc := range cases {

@@ -10,6 +10,15 @@
 // four embedded applications of the evaluation, plus the harness that
 // regenerates every table and figure of the paper.
 //
+// Exploration is parallel end to end: simulated annealing runs as a
+// deterministic multi-restart (search.MultiAnnealer), exhaustive search
+// shards its enumeration space by the first core's tile
+// (search.ShardedExhaustive), the Table-2 comparison protocol
+// (core.CompareModels) runs its independent legs concurrently, and the
+// experiment harness batches workloads over the worker pool in
+// internal/par. Worker count is a pure wall-clock lever: for a fixed
+// seed, results are bit-identical for every Workers value.
+//
 // Layout:
 //
 //	internal/graph      DAG utilities
@@ -19,7 +28,9 @@
 //	internal/wormhole   timed, contention-aware wormhole simulator
 //	internal/energy     bit-energy model and technology profiles (eqs. 1-10)
 //	internal/mapping    core→tile placements, moves, enumeration
-//	internal/search     SA / exhaustive / hill / random / tabu engines
+//	internal/par        deterministic bounded worker pool
+//	internal/search     SA / exhaustive / hill / random / tabu engines,
+//	                    parallel multi-restart and sharded enumeration
 //	internal/core       the FRW framework: CWM & CDCM strategies (the contribution)
 //	internal/appgen     TGFF-like CDCG benchmark generator
 //	internal/apps       Romberg, FFT-8, object recognition, image encoder
@@ -30,7 +41,7 @@
 //	cmd/nocexp          reproduce the paper's tables and figures
 //	examples/...        runnable walk-throughs
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
-// bench_test.go regenerate each table and figure under `go test -bench`.
+// See README.md for a tour. The benchmarks in bench_test.go regenerate
+// each table and figure under `go test -bench`, and the Workers1/WorkersN
+// benchmark pairs measure the parallel runner's wall-clock win.
 package repro

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/model"
 	"repro/internal/noc"
+	"repro/internal/par"
 	"repro/internal/search"
 	"repro/internal/topology"
 )
@@ -21,10 +22,24 @@ const (
 )
 
 func (s Strategy) String() string {
-	if s == StrategyCDCM {
+	switch s {
+	case StrategyCWM:
+		return "CWM"
+	case StrategyCDCM:
 		return "CDCM"
 	}
-	return "CWM"
+	return "?"
+}
+
+// ParseStrategy converts a CLI string into a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "cwm", "CWM":
+		return StrategyCWM, nil
+	case "cdcm", "CDCM":
+		return StrategyCDCM, nil
+	}
+	return 0, fmt.Errorf("core: unknown mapping strategy %q", s)
 }
 
 // Method selects the search engine.
@@ -95,6 +110,16 @@ type Options struct {
 	// Initial, when non-nil, seeds the annealer with this mapping
 	// instead of a random one (ignored by the other methods).
 	Initial mapping.Mapping
+	// Restarts runs MethodSA as a multi-restart: Restarts independent
+	// annealing runs with seeds Seed..Seed+Restarts-1, best-cost winner,
+	// lowest restart index breaking ties (0 or 1 = single run, the
+	// historical behaviour). Results depend on Restarts, never on Workers.
+	Restarts int
+	// Workers bounds the goroutines used by the parallel paths: SA
+	// restarts, exhaustive-search shards and the independent legs of
+	// CompareModels (0 or 1 = serial). For a fixed Seed the results are
+	// bit-identical across Workers values; Workers only buys wall-clock.
+	Workers int
 }
 
 // ExploreResult is the outcome of one exploration.
@@ -116,49 +141,63 @@ type ExploreResult struct {
 func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy.Tech,
 	g *model.CDCG, opts Options) (*ExploreResult, error) {
 
-	var obj search.Objective
+	// The evaluators are stateful (CWM route cache, CDCM simulator), so
+	// the parallel engines receive a factory and build one per worker
+	// lane; the serial engines call it once.
+	var newObjective search.ObjectiveFactory
 	switch strategy {
 	case StrategyCWM:
-		cwm, err := NewCWM(mesh, cfg, tech, g.ToCWG())
-		if err != nil {
-			return nil, err
-		}
-		obj = cwm
+		newObjective = func() (search.Objective, error) { return NewCWM(mesh, cfg, tech, g.ToCWG()) }
 	case StrategyCDCM:
-		cdcm, err := NewCDCM(mesh, cfg, tech, g)
-		if err != nil {
-			return nil, err
-		}
-		obj = cdcm
+		newObjective = func() (search.Objective, error) { return NewCDCM(mesh, cfg, tech, g) }
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %d", strategy)
 	}
 
-	prob := search.Problem{Mesh: mesh, NumCores: g.NumCores(), Obj: obj}
+	prob := search.Problem{Mesh: mesh, NumCores: g.NumCores()}
 	var (
 		res *search.Result
 		err error
 	)
 	switch opts.Method {
 	case MethodSA:
-		res, err = (&search.Annealer{
-			Problem:      prob,
-			Seed:         opts.Seed,
-			Initial:      opts.Initial,
-			TempSteps:    opts.TempSteps,
-			MovesPerTemp: opts.MovesPerTemp,
-			Alpha:        opts.Alpha,
-			StallSteps:   opts.StallSteps,
-			Reheats:      opts.Reheats,
+		res, err = (&search.MultiAnnealer{
+			Base: search.Annealer{
+				Problem:      prob,
+				Seed:         opts.Seed,
+				Initial:      opts.Initial,
+				TempSteps:    opts.TempSteps,
+				MovesPerTemp: opts.MovesPerTemp,
+				Alpha:        opts.Alpha,
+				StallSteps:   opts.StallSteps,
+				Reheats:      opts.Reheats,
+			},
+			Restarts:     opts.Restarts,
+			Workers:      opts.Workers,
+			NewObjective: newObjective,
 		}).Run()
 	case MethodES:
-		res, err = (&search.Exhaustive{Problem: prob, Limit: opts.ESLimit, Anchor: opts.ESAnchor}).Run()
-	case MethodRandom:
-		res, err = (&search.RandomSearch{Problem: prob, Seed: opts.Seed, Samples: opts.Samples}).Run()
-	case MethodHill:
-		res, err = (&search.HillClimber{Problem: prob, Seed: opts.Seed}).Run()
-	case MethodTabu:
-		res, err = (&search.Tabu{Problem: prob, Seed: opts.Seed}).Run()
+		res, err = (&search.ShardedExhaustive{
+			Problem:      prob,
+			Limit:        opts.ESLimit,
+			Anchor:       opts.ESAnchor,
+			Workers:      opts.Workers,
+			NewObjective: newObjective,
+		}).Run()
+	case MethodRandom, MethodHill, MethodTabu:
+		var obj search.Objective
+		if obj, err = newObjective(); err != nil {
+			return nil, err
+		}
+		prob.Obj = obj
+		switch opts.Method {
+		case MethodRandom:
+			res, err = (&search.RandomSearch{Problem: prob, Seed: opts.Seed, Samples: opts.Samples}).Run()
+		case MethodHill:
+			res, err = (&search.HillClimber{Problem: prob, Seed: opts.Seed}).Run()
+		case MethodTabu:
+			res, err = (&search.Tabu{Problem: prob, Seed: opts.Seed}).Run()
+		}
 	default:
 		err = fmt.Errorf("core: unknown method %d", opts.Method)
 	}
@@ -228,6 +267,13 @@ type Comparison struct {
 // technology. The CWM strategy cannot see time, so its winner's texec is
 // whatever contention falls out of its volume-only placement — that gap
 // is the paper's result.
+//
+// The protocol's legs are independent explorations, so with
+// Options.Workers > 1 they run concurrently: the CWM exploration and
+// every per-tech random-start CDCM run launch immediately, and the
+// CWM-seeded refinements plus pricing follow once the CWM winner exists.
+// Every leg is deterministic under its own seed, so the comparison is
+// bit-identical for every Workers value.
 func CompareModels(mesh *topology.Mesh, cfg noc.Config, g *model.CDCG, opts CompareOptions) (*Comparison, error) {
 	optTech := opts.OptimizeTech
 	if optTech == (energy.Tech{}) {
@@ -247,9 +293,62 @@ func CompareModels(mesh *topology.Mesh, cfg noc.Config, g *model.CDCG, opts Comp
 		report = append(append([]energy.Tech{}, report...), optTech)
 	}
 
-	cwmRes, err := Explore(StrategyCWM, mesh, cfg, optTech, g, opts.Options)
+	// Phase 1 — every leg that needs no other leg's output: the CWM
+	// exploration (job 0) and one random-start CDCM exploration per
+	// reporting tech (jobs 1..len(report)).
+	var cwmRes *ExploreResult
+	randRuns := make([]*ExploreResult, len(report))
+	err := par.ForEach(1+len(report), opts.Workers, func(i int) error {
+		if i == 0 {
+			res, err := Explore(StrategyCWM, mesh, cfg, optTech, g, opts.Options)
+			if err != nil {
+				return fmt.Errorf("core: CWM exploration: %w", err)
+			}
+			cwmRes = res
+			return nil
+		}
+		tech := report[i-1]
+		res, err := Explore(StrategyCDCM, mesh, cfg, tech, g, opts.Options)
+		if err != nil {
+			return fmt.Errorf("core: CDCM exploration (%s): %w", tech.Name, err)
+		}
+		randRuns[i-1] = res
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("core: CWM exploration: %w", err)
+		return nil, err
+	}
+
+	// Phase 2 — per-tech legs downstream of the CWM winner: pricing the
+	// CWM mapping under the reporting tech and the CWM-seeded CDCM
+	// refinement.
+	cwmMetrics := make([]Metrics, len(report))
+	seedRuns := make([]*ExploreResult, len(report))
+	err = par.ForEach(2*len(report), opts.Workers, func(i int) error {
+		tech := report[i/2]
+		if i%2 == 0 {
+			pricer, err := NewCDCM(mesh, cfg, tech, g)
+			if err != nil {
+				return err
+			}
+			mw, err := pricer.Evaluate(cwmRes.Best)
+			if err != nil {
+				return err
+			}
+			cwmMetrics[i/2] = mw
+			return nil
+		}
+		seeded := opts.Options
+		seeded.Initial = cwmRes.Best
+		res, err := Explore(StrategyCDCM, mesh, cfg, tech, g, seeded)
+		if err != nil {
+			return fmt.Errorf("core: CDCM refinement (%s): %w", tech.Name, err)
+		}
+		seedRuns[i/2] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	cmp := &Comparison{
@@ -260,27 +359,10 @@ func CompareModels(mesh *topology.Mesh, cfg noc.Config, g *model.CDCG, opts Comp
 		CDCMMetrics:    make(map[string]Metrics, len(report)),
 		ECS:            make(map[string]float64, len(report)),
 	}
-	for _, tech := range report {
-		pricer, err := NewCDCM(mesh, cfg, tech, g)
-		if err != nil {
-			return nil, err
-		}
-		mw, err := pricer.Evaluate(cwmRes.Best)
-		if err != nil {
-			return nil, err
-		}
+	for i, tech := range report {
+		mw := cwmMetrics[i]
 		cmp.CWMMetrics[tech.Name] = mw
-
-		randRun, err := Explore(StrategyCDCM, mesh, cfg, tech, g, opts.Options)
-		if err != nil {
-			return nil, fmt.Errorf("core: CDCM exploration (%s): %w", tech.Name, err)
-		}
-		seeded := opts.Options
-		seeded.Initial = cwmRes.Best
-		seedRun, err := Explore(StrategyCDCM, mesh, cfg, tech, g, seeded)
-		if err != nil {
-			return nil, fmt.Errorf("core: CDCM refinement (%s): %w", tech.Name, err)
-		}
+		randRun, seedRun := randRuns[i], seedRuns[i]
 		best := randRun
 		if seedRun.Search.BestCost < randRun.Search.BestCost {
 			best = seedRun

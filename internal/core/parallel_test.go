@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/noc"
+	"repro/internal/topology"
+)
+
+func compareSetup(t *testing.T) (*topology.Mesh, noc.Config, *model.CDCG) {
+	t.Helper()
+	mesh, err := topology.NewMesh(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mesh, noc.Default(), model.PaperExampleCDCG()
+}
+
+func exploreEqual(a, b *ExploreResult) bool {
+	return a.Search.BestCost == b.Search.BestCost &&
+		a.Search.Evaluations == b.Search.Evaluations &&
+		mapping.Equal(a.Best, b.Best) &&
+		a.Metrics == b.Metrics
+}
+
+// TestExploreDeterministicAcrossWorkers pins the tentpole invariant at
+// the framework level: a fixed seed yields bit-identical explorations
+// for every Workers value, for both strategies, for multi-restart SA and
+// for sharded ES.
+func TestExploreDeterministicAcrossWorkers(t *testing.T) {
+	mesh, cfg, g := compareSetup(t)
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"sa-multirestart", Options{Method: MethodSA, Seed: 5, TempSteps: 8, Restarts: 4}},
+		{"es-sharded", Options{Method: MethodES}},
+		{"es-sharded-anchor", Options{Method: MethodES, ESAnchor: true}},
+	} {
+		for _, strat := range []Strategy{StrategyCWM, StrategyCDCM} {
+			var ref *ExploreResult
+			for _, workers := range []int{1, 2, 4, 9} {
+				opts := tc.opts
+				opts.Workers = workers
+				res, err := Explore(strat, mesh, cfg, energy.Tech007, g, opts)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", tc.name, strat, workers, err)
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				if !exploreEqual(ref, res) {
+					t.Fatalf("%s/%s workers=%d diverged: best %g vs %g",
+						tc.name, strat, workers, res.Search.BestCost, ref.Search.BestCost)
+				}
+			}
+		}
+	}
+}
+
+// TestExploreMultiRestartImproves checks that restarts add evaluations
+// and can only improve the reported best for the shared base seed.
+func TestExploreMultiRestartImproves(t *testing.T) {
+	mesh, cfg, g := compareSetup(t)
+	single, err := Explore(StrategyCDCM, mesh, cfg, energy.Tech007, g,
+		Options{Method: MethodSA, Seed: 2, TempSteps: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Explore(StrategyCDCM, mesh, cfg, energy.Tech007, g,
+		Options{Method: MethodSA, Seed: 2, TempSteps: 6, Restarts: 3, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Search.BestCost > single.Search.BestCost {
+		t.Fatalf("multi-restart best %g worse than single %g",
+			multi.Search.BestCost, single.Search.BestCost)
+	}
+	if multi.Search.Evaluations <= single.Search.Evaluations {
+		t.Fatalf("restart evaluations not accumulated: %d <= %d",
+			multi.Search.Evaluations, single.Search.Evaluations)
+	}
+}
+
+// TestCompareModelsDeterministicAcrossWorkers runs the full Table-2
+// protocol at several worker counts and requires identical mappings and
+// metrics from all of them.
+func TestCompareModelsDeterministicAcrossWorkers(t *testing.T) {
+	mesh, cfg, g := compareSetup(t)
+	var ref *Comparison
+	for _, workers := range []int{1, 2, 4, 8} {
+		cmp, err := CompareModels(mesh, cfg, g, CompareOptions{
+			Options: Options{Method: MethodSA, Seed: 3, TempSteps: 8, Workers: workers},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = cmp
+			continue
+		}
+		if cmp.ETR != ref.ETR {
+			t.Fatalf("workers=%d: ETR %g != %g", workers, cmp.ETR, ref.ETR)
+		}
+		if !mapping.Equal(cmp.CWMMapping, ref.CWMMapping) {
+			t.Fatalf("workers=%d: CWM mapping diverged", workers)
+		}
+		if cmp.CWMEvaluations != ref.CWMEvaluations || cmp.CDCMEvaluations != ref.CDCMEvaluations {
+			t.Fatalf("workers=%d: evaluation counts diverged", workers)
+		}
+		for tech, m := range ref.CDCMMappings {
+			if !mapping.Equal(cmp.CDCMMappings[tech], m) {
+				t.Fatalf("workers=%d: CDCM mapping (%s) diverged", workers, tech)
+			}
+			if cmp.ECS[tech] != ref.ECS[tech] {
+				t.Fatalf("workers=%d: ECS (%s) %g != %g", workers, tech, cmp.ECS[tech], ref.ECS[tech])
+			}
+			if cmp.CDCMMetrics[tech] != ref.CDCMMetrics[tech] || cmp.CWMMetrics[tech] != ref.CWMMetrics[tech] {
+				t.Fatalf("workers=%d: metrics (%s) diverged", workers, tech)
+			}
+		}
+	}
+	if math.IsNaN(ref.ETR) {
+		t.Fatal("ETR is NaN")
+	}
+}
+
+func TestStrategyStringSentinel(t *testing.T) {
+	if got := Strategy(99).String(); got != "?" {
+		t.Errorf("Strategy(99).String() = %q, want \"?\"", got)
+	}
+	if got := Strategy(-1).String(); got != "?" {
+		t.Errorf("Strategy(-1).String() = %q, want \"?\"", got)
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Strategy
+	}{
+		{"cwm", StrategyCWM}, {"CWM", StrategyCWM},
+		{"cdcm", StrategyCDCM}, {"CDCM", StrategyCDCM},
+	}
+	for _, c := range cases {
+		got, err := ParseStrategy(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "cwm2", "both", "CdCm"} {
+		if _, err := ParseStrategy(bad); err == nil {
+			t.Errorf("ParseStrategy(%q) accepted", bad)
+		}
+	}
+	// Round trip: every valid strategy parses back from its String.
+	for _, s := range []Strategy{StrategyCWM, StrategyCDCM} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v failed: %v, %v", s, got, err)
+		}
+	}
+}

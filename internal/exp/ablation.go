@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/noc"
+	"repro/internal/par"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -48,39 +49,45 @@ func DefaultAblations() []AblationVariant {
 }
 
 // RunAblations explores each workload under each variant with the CDCM
-// strategy and a fixed budget.
+// strategy and a fixed budget. The (workload, variant) grid runs on a
+// worker pool sized by opts.Workers; outcomes are stored by grid index,
+// so the result order never depends on scheduling.
 func RunAblations(suite []Workload, variants []AblationVariant, opts core.Options) ([]AblationOutcome, error) {
 	if len(variants) == 0 {
 		variants = DefaultAblations()
 	}
-	var outs []AblationOutcome
-	for _, w := range suite {
-		for _, v := range variants {
-			var mesh *topology.Mesh
-			var err error
-			if v.Torus {
-				mesh, err = topology.NewTorus(w.MeshW, w.MeshH)
-			} else {
-				mesh, err = topology.NewMesh(w.MeshW, w.MeshH)
-			}
-			if err != nil {
-				return nil, err
-			}
-			cfg := noc.Default()
-			cfg.Routing = v.Routing
-			cfg.ArbitrateLocal = v.ArbitrateLocal
-			res, err := core.Explore(core.StrategyCDCM, mesh, cfg, energy.Tech007, w.G, opts)
-			if err != nil {
-				return nil, fmt.Errorf("exp: ablation %s on %s: %w", v.Name, w.Name, err)
-			}
-			outs = append(outs, AblationOutcome{
-				Workload:         w.Name,
-				Variant:          v.Name,
-				ExecCycles:       res.Metrics.ExecCycles,
-				TotalPJ:          res.Metrics.Total() * 1e12,
-				ContentionCycles: res.Metrics.ContentionCycles,
-			})
+	outs := make([]AblationOutcome, len(suite)*len(variants))
+	err := par.ForEach(len(outs), opts.Workers, func(i int) error {
+		w := suite[i/len(variants)]
+		v := variants[i%len(variants)]
+		var mesh *topology.Mesh
+		var err error
+		if v.Torus {
+			mesh, err = topology.NewTorus(w.MeshW, w.MeshH)
+		} else {
+			mesh, err = topology.NewMesh(w.MeshW, w.MeshH)
 		}
+		if err != nil {
+			return err
+		}
+		cfg := noc.Default()
+		cfg.Routing = v.Routing
+		cfg.ArbitrateLocal = v.ArbitrateLocal
+		res, err := core.Explore(core.StrategyCDCM, mesh, cfg, energy.Tech007, w.G, opts)
+		if err != nil {
+			return fmt.Errorf("exp: ablation %s on %s: %w", v.Name, w.Name, err)
+		}
+		outs[i] = AblationOutcome{
+			Workload:         w.Name,
+			Variant:          v.Name,
+			ExecCycles:       res.Metrics.ExecCycles,
+			TotalPJ:          res.Metrics.Total() * 1e12,
+			ContentionCycles: res.Metrics.ContentionCycles,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return outs, nil
 }

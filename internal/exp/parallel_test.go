@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+)
+
+// The batch runners must produce bit-identical reports for every worker
+// count — batch parallelism is a wall-clock lever, never a semantic one.
+
+func TestRunTable2DeterministicAcrossWorkers(t *testing.T) {
+	suite := smallSuite(t, 6)
+	var ref *Table2Report
+	for _, workers := range []int{1, 2, 4} {
+		rep, err := RunTable2(suite, Table2Options{
+			Search:  core.Options{Method: core.MethodSA, TempSteps: 6, MovesPerTemp: 10, Workers: workers},
+			Seeds:   []int64{1, 2},
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = rep
+			continue
+		}
+		if !reflect.DeepEqual(rep.Outcomes, ref.Outcomes) {
+			t.Fatalf("workers=%d: outcomes diverged", workers)
+		}
+		if !reflect.DeepEqual(rep.Rows, ref.Rows) || !reflect.DeepEqual(rep.Average, ref.Average) {
+			t.Fatalf("workers=%d: aggregates diverged", workers)
+		}
+	}
+}
+
+func TestRunAblationsDeterministicAcrossWorkers(t *testing.T) {
+	suite := smallSuite(t, 6)[:1]
+	var ref []AblationOutcome
+	for _, workers := range []int{1, 3, 8} {
+		outs, err := RunAblations(suite, nil, core.Options{
+			Method: core.MethodSA, Seed: 1, TempSteps: 6, MovesPerTemp: 10, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = outs
+			continue
+		}
+		if !reflect.DeepEqual(outs, ref) {
+			t.Fatalf("workers=%d: outcomes diverged", workers)
+		}
+	}
+}
+
+func TestRunSensitivityDeterministicAcrossWorkers(t *testing.T) {
+	suite := smallSuite(t, 6)[:2]
+	var ref []SensitivityOutcome
+	for _, workers := range []int{1, 2, 5} {
+		outs, err := RunSensitivity(suite, noc.Config{}, 15, 1, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = outs
+			continue
+		}
+		if !reflect.DeepEqual(outs, ref) {
+			t.Fatalf("workers=%d: outcomes diverged", workers)
+		}
+	}
+}

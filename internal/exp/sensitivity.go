@@ -9,6 +9,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/mapping"
 	"repro/internal/noc"
+	"repro/internal/par"
 	"repro/internal/search"
 	"repro/internal/trace"
 	"repro/internal/wormhole"
@@ -39,35 +40,39 @@ type SensitivityOutcome struct {
 }
 
 // RunSensitivity samples `samples` random mappings per workload and
-// bounds the achievable ETR.
-func RunSensitivity(suite []Workload, cfg noc.Config, samples int, seed int64) ([]SensitivityOutcome, error) {
+// bounds the achievable ETR. Workloads are analysed concurrently on a
+// pool of `workers` goroutines (0 or 1 = serial); each job owns its own
+// simulator and RNG, so the outcome slice is bit-identical for every
+// worker count.
+func RunSensitivity(suite []Workload, cfg noc.Config, samples int, seed int64, workers int) ([]SensitivityOutcome, error) {
 	if cfg == (noc.Config{}) {
 		cfg = noc.Default()
 	}
 	if samples <= 0 {
 		samples = 200
 	}
-	var outs []SensitivityOutcome
-	for _, w := range suite {
+	outs := make([]SensitivityOutcome, len(suite))
+	err := par.ForEach(len(suite), workers, func(i int) error {
+		w := suite[i]
 		mesh, err := w.Mesh()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sim, err := wormhole.NewSimulator(mesh, cfg, w.G)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rng := rand.New(rand.NewSource(seed))
 		o := SensitivityOutcome{Workload: w.Name, NoCSize: w.NoCSize(), MinRandom: math.MaxInt64}
 		var sumT, sumC int64
-		for i := 0; i < samples; i++ {
+		for s := 0; s < samples; s++ {
 			mp, err := mapping.Random(rng, w.G.NumCores(), mesh.NumTiles())
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := sim.Run(mp)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if res.ExecCycles < o.MinRandom {
 				o.MinRandom = res.ExecCycles
@@ -93,20 +98,24 @@ func RunSensitivity(suite []Workload, cfg noc.Config, samples int, seed int64) (
 			Seed:    seed,
 		}).Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		o.BestTime = int64(tSA.BestCost)
 
 		cw, err := core.Explore(core.StrategyCWM, mesh, cfg, energy.Tech007, w.G,
 			core.Options{Method: core.MethodSA, Seed: seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		o.CWMTime = cw.Metrics.ExecCycles
 		if o.CWMTime > 0 {
 			o.Gap = float64(o.CWMTime-o.BestTime) / float64(o.CWMTime)
 		}
-		outs = append(outs, o)
+		outs[i] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return outs, nil
 }

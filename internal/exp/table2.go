@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/noc"
+	"repro/internal/par"
 	"repro/internal/trace"
 )
 
@@ -26,6 +27,12 @@ type Table2Options struct {
 	MaxTiles int
 	// Techs are the reporting profiles (default Tech035, Tech007).
 	Techs []energy.Tech
+	// Workers runs the (workload, seed) comparisons concurrently on a
+	// bounded pool (0 or 1 = serial). Outcomes are merged in job order,
+	// so the report is bit-identical for every Workers value. This is
+	// batch-level parallelism on top of whatever Search.Workers gives
+	// each comparison internally.
+	Workers int
 }
 
 func (o *Table2Options) fill() {
@@ -87,62 +94,80 @@ func RunTable2(suite []Workload, opts Table2Options) (*Table2Report, error) {
 	}
 	rep := &Table2Report{Techs: techNames}
 
+	// Materialise the (workload, seed) job list up front so the batch
+	// can run on a worker pool with outcomes stored by job index —
+	// report order and content are then independent of scheduling.
+	type job struct {
+		w    Workload
+		seed int64
+	}
+	var jobs []job
 	for _, w := range suite {
 		if opts.MaxTiles > 0 && w.MeshW*w.MeshH > opts.MaxTiles {
 			continue
 		}
-		mesh, err := w.Mesh()
-		if err != nil {
-			return nil, err
-		}
 		for _, seed := range opts.Seeds {
-			so := opts.Search
-			so.Seed = seed
-			// Size-scaled annealing budget unless the caller fixed one:
-			// large instances need a longer schedule, reheats escape the
-			// rugged contention landscape of the CDCM objective.
-			if so.TempSteps == 0 && so.MovesPerTemp == 0 {
-				tiles := w.MeshW * w.MeshH
-				if tiles > 25 {
-					so.TempSteps = 180
-					so.MovesPerTemp = 15 * tiles
-					so.StallSteps = 30
-					so.Reheats = 2
-				} else {
-					so.TempSteps = 140
-					so.MovesPerTemp = 20 * tiles
-					so.StallSteps = 25
-					so.Reheats = 2
-				}
-			}
-			cmp, err := core.CompareModels(mesh, opts.Cfg, w.G, core.CompareOptions{
-				Options:     so,
-				ReportTechs: opts.Techs,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("exp: %s seed %d: %w", w.Name, seed, err)
-			}
-			out := WorkloadOutcome{
-				Workload:    w.Name,
-				NoCSize:     w.NoCSize(),
-				Seed:        seed,
-				ETR:         cmp.ETR,
-				ECS:         cmp.ECS,
-				StaticShare: make(map[string]float64, len(opts.Techs)),
-			}
-			// Execution-time detail comes from the optimisation tech (the
-			// deep-submicron point, which also defines ETR).
-			ref := opts.Techs[len(opts.Techs)-1].Name
-			out.CWMExecCycles = cmp.CWMMetrics[ref].ExecCycles
-			out.CDCMExecCycles = cmp.CDCMMetrics[ref].ExecCycles
-			out.CWMContention = cmp.CWMMetrics[ref].ContentionCycles
-			out.CDCMContention = cmp.CDCMMetrics[ref].ContentionCycles
-			for _, tech := range opts.Techs {
-				out.StaticShare[tech.Name] = cmp.CWMMetrics[tech.Name].Energy.StaticShare()
-			}
-			rep.Outcomes = append(rep.Outcomes, out)
+			jobs = append(jobs, job{w: w, seed: seed})
 		}
 	}
+	outcomes := make([]WorkloadOutcome, len(jobs))
+	err := par.ForEach(len(jobs), opts.Workers, func(i int) error {
+		w, seed := jobs[i].w, jobs[i].seed
+		mesh, err := w.Mesh()
+		if err != nil {
+			return err
+		}
+		so := opts.Search
+		so.Seed = seed
+		// Size-scaled annealing budget unless the caller fixed one:
+		// large instances need a longer schedule, reheats escape the
+		// rugged contention landscape of the CDCM objective.
+		if so.TempSteps == 0 && so.MovesPerTemp == 0 {
+			tiles := w.MeshW * w.MeshH
+			if tiles > 25 {
+				so.TempSteps = 180
+				so.MovesPerTemp = 15 * tiles
+				so.StallSteps = 30
+				so.Reheats = 2
+			} else {
+				so.TempSteps = 140
+				so.MovesPerTemp = 20 * tiles
+				so.StallSteps = 25
+				so.Reheats = 2
+			}
+		}
+		cmp, err := core.CompareModels(mesh, opts.Cfg, w.G, core.CompareOptions{
+			Options:     so,
+			ReportTechs: opts.Techs,
+		})
+		if err != nil {
+			return fmt.Errorf("exp: %s seed %d: %w", w.Name, seed, err)
+		}
+		out := WorkloadOutcome{
+			Workload:    w.Name,
+			NoCSize:     w.NoCSize(),
+			Seed:        seed,
+			ETR:         cmp.ETR,
+			ECS:         cmp.ECS,
+			StaticShare: make(map[string]float64, len(opts.Techs)),
+		}
+		// Execution-time detail comes from the optimisation tech (the
+		// deep-submicron point, which also defines ETR).
+		ref := opts.Techs[len(opts.Techs)-1].Name
+		out.CWMExecCycles = cmp.CWMMetrics[ref].ExecCycles
+		out.CDCMExecCycles = cmp.CDCMMetrics[ref].ExecCycles
+		out.CWMContention = cmp.CWMMetrics[ref].ContentionCycles
+		out.CDCMContention = cmp.CDCMMetrics[ref].ContentionCycles
+		for _, tech := range opts.Techs {
+			out.StaticShare[tech.Name] = cmp.CWMMetrics[tech.Name].Energy.StaticShare()
+		}
+		outcomes[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Outcomes = outcomes
 
 	// Aggregate by NoC size in paper order.
 	bySize := make(map[string][]WorkloadOutcome)

@@ -19,11 +19,29 @@ type EnumerateOptions struct {
 	// optimal mapping survives, shrinking the space by up to 4x without
 	// losing optimality. Use -1 to disable.
 	AnchorCore int
+	// PinFirst, when true, pins core 0 to exactly FirstTile. The sharded
+	// exhaustive engine partitions the space by running one enumeration
+	// per candidate first tile; the union over all first tiles (in
+	// ascending tile order) visits exactly the placements of an unpinned
+	// enumeration, in the same order. Combines with AnchorCore == 0: a
+	// pin outside the anchor quadrant yields an empty enumeration.
+	PinFirst  bool
+	FirstTile topology.TileID
 }
 
 // ErrLimit is returned when enumeration stops because Options.Limit was
 // reached before the space was exhausted.
 var ErrLimit = fmt.Errorf("mapping: enumeration limit reached")
+
+// InAnchorQuadrant reports whether tile t lies in the canonical mesh
+// quadrant (x <= (W-1)/2, y <= (H-1)/2) — the single definition of the
+// symmetry-anchoring rule, shared by EnumerateOptions.AnchorCore and the
+// sharded exhaustive engine's shard selection so the two can never drift
+// apart.
+func InAnchorQuadrant(mesh *topology.Mesh, t topology.TileID) bool {
+	c := mesh.Coord(t)
+	return c.X <= (mesh.W()-1)/2 && c.Y <= (mesh.H()-1)/2
+}
 
 // Count returns the number of injective placements of numCores cores on
 // numTiles tiles: numTiles!/(numTiles-numCores)!. It saturates at
@@ -52,19 +70,14 @@ func Enumerate(mesh *topology.Mesh, numCores int, opts EnumerateOptions, fn func
 	if numCores <= 0 || numCores > numTiles {
 		return fmt.Errorf("mapping: cannot place %d cores on %d tiles", numCores, numTiles)
 	}
+	if opts.PinFirst && (opts.FirstTile < 0 || int(opts.FirstTile) >= numTiles) {
+		return fmt.Errorf("mapping: pinned first tile %d outside %d tiles", opts.FirstTile, numTiles)
+	}
 	m := make(Mapping, numCores)
 	used := make([]bool, numTiles)
 	var emitted int64
 
-	var anchorOK func(t topology.TileID) bool
-	if opts.AnchorCore >= 0 && opts.AnchorCore < numCores {
-		maxX := (mesh.W() - 1) / 2
-		maxY := (mesh.H() - 1) / 2
-		anchorOK = func(t topology.TileID) bool {
-			c := mesh.Coord(t)
-			return c.X <= maxX && c.Y <= maxY
-		}
-	}
+	anchored := opts.AnchorCore >= 0 && opts.AnchorCore < numCores
 
 	var rec func(core int) error
 	rec = func(core int) error {
@@ -82,7 +95,10 @@ func Enumerate(mesh *topology.Mesh, numCores int, opts EnumerateOptions, fn func
 			if used[t] {
 				continue
 			}
-			if core == opts.AnchorCore && anchorOK != nil && !anchorOK(topology.TileID(t)) {
+			if core == 0 && opts.PinFirst && topology.TileID(t) != opts.FirstTile {
+				continue
+			}
+			if core == opts.AnchorCore && anchored && !InAnchorQuadrant(mesh, topology.TileID(t)) {
 				continue
 			}
 			used[t] = true

@@ -1,0 +1,64 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestEnumeratePinFirstPartitionsSpace verifies the sharding invariant:
+// the union of pinned enumerations over all first tiles, taken in
+// ascending tile order, visits exactly the placements of an unpinned
+// enumeration, in the same order.
+func TestEnumeratePinFirstPartitionsSpace(t *testing.T) {
+	mesh, err := topology.NewMesh(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cores = 3
+	var full []Mapping
+	err = Enumerate(mesh, cores, EnumerateOptions{AnchorCore: -1}, func(m Mapping) bool {
+		full = append(full, m.Clone())
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var union []Mapping
+	for tile := 0; tile < mesh.NumTiles(); tile++ {
+		err = Enumerate(mesh, cores,
+			EnumerateOptions{AnchorCore: -1, PinFirst: true, FirstTile: topology.TileID(tile)},
+			func(m Mapping) bool {
+				if m[0] != topology.TileID(tile) {
+					t.Fatalf("pin %d leaked placement %v", tile, m)
+				}
+				union = append(union, m.Clone())
+				return true
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(union) != len(full) {
+		t.Fatalf("union has %d placements, full enumeration %d", len(union), len(full))
+	}
+	for i := range full {
+		if !Equal(union[i], full[i]) {
+			t.Fatalf("placement %d: union %v != full %v", i, union[i], full[i])
+		}
+	}
+}
+
+func TestEnumeratePinFirstOutOfRange(t *testing.T) {
+	mesh, err := topology.NewMesh(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tile := range []topology.TileID{-1, 4, 99} {
+		err := Enumerate(mesh, 2, EnumerateOptions{AnchorCore: -1, PinFirst: true, FirstTile: tile},
+			func(Mapping) bool { return true })
+		if err == nil {
+			t.Errorf("pinned tile %d accepted on a 4-tile mesh", tile)
+		}
+	}
+}

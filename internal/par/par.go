@@ -1,0 +1,92 @@
+// Package par provides the minimal deterministic fan-out primitive shared
+// by the parallel exploration paths: a bounded worker pool over an indexed
+// job set. Determinism is the design constraint — callers store results by
+// job index and merge in index order, so the observable outcome is
+// independent of the worker count and of goroutine scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a worker-count option: values < 1 mean "one worker"
+// (serial execution), everything else is returned unchanged. Callers that
+// want hardware-sized pools pass runtime.NumCPU() explicitly (the CLIs'
+// -workers default).
+func Workers(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// DefaultWorkers is the CLI-facing default: one worker per logical CPU.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// ForEach runs task(0..n-1) on up to `workers` goroutines and waits for
+// completion. Dispatch is in index order and stops once any task has
+// failed (higher-index tasks not yet dispatched are skipped, so a failing
+// batch doesn't grind through the rest of its jobs); every task below the
+// first failing index is guaranteed to have run, which makes the returned
+// lowest-index error deterministic under any scheduling. workers <= 1
+// degenerates to a plain loop on the calling goroutine (no goroutines
+// spawned), so the serial path stays trivially debuggable.
+func ForEach(n, workers int, task func(i int) error) error {
+	return ForEachWorker(n, workers, func(_, i int) error { return task(i) })
+}
+
+// ForEachWorker is ForEach with the pool lane exposed: task(w, i) runs
+// job i on worker goroutine w, where w is in [0, min(workers, n)). A
+// given w is never concurrent with itself, so callers can hand each
+// worker a private instance of non-concurrency-safe state (the search
+// engines allocate one objective evaluator per worker this way). Which
+// worker runs which job is scheduling-dependent — determinism of the
+// overall computation must come from the per-worker state being
+// semantically identical across lanes.
+func ForEachWorker(n, workers int, task func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := task(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var failed atomic.Bool
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				if err := task(w, i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < n && !failed.Load(); i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package search
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mapping"
+)
+
+// resultsEqual compares the fields that must be bit-identical across
+// worker counts.
+func resultsEqual(a, b *Result) bool {
+	return a.BestCost == b.BestCost &&
+		a.InitialCost == b.InitialCost &&
+		a.Evaluations == b.Evaluations &&
+		a.Improvements == b.Improvements &&
+		a.Certified == b.Certified &&
+		mapping.Equal(a.Best, b.Best)
+}
+
+func TestMultiAnnealerDeterministicAcrossWorkers(t *testing.T) {
+	p, _ := testProblem(t, 3, 3, 6)
+	var ref *Result
+	for _, workers := range []int{1, 2, 5, 16} {
+		res, err := (&MultiAnnealer{
+			Base:     Annealer{Problem: p, Seed: 7, TempSteps: 15},
+			Restarts: 5,
+			Workers:  workers,
+		}).Run()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !resultsEqual(ref, res) {
+			t.Fatalf("workers=%d diverged: %+v vs %+v", workers, res, ref)
+		}
+	}
+}
+
+func TestMultiAnnealerSingleRestartMatchesAnnealer(t *testing.T) {
+	p, _ := testProblem(t, 3, 3, 6)
+	single, err := (&Annealer{Problem: p, Seed: 3, TempSteps: 12}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := (&MultiAnnealer{
+		Base:    Annealer{Problem: p, Seed: 3, TempSteps: 12},
+		Workers: 4,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(single, multi) {
+		t.Fatalf("restarts=1 diverged from plain annealer: %+v vs %+v", multi, single)
+	}
+}
+
+func TestMultiAnnealerNeverWorseThanSingleRun(t *testing.T) {
+	p, _ := testProblem(t, 3, 3, 7)
+	single, err := (&Annealer{Problem: p, Seed: 11, TempSteps: 10}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := (&MultiAnnealer{
+		Base:     Annealer{Problem: p, Seed: 11, TempSteps: 10},
+		Restarts: 6,
+		Workers:  3,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.BestCost > single.BestCost {
+		t.Fatalf("6 restarts (%g) worse than restart 0 alone (%g)", multi.BestCost, single.BestCost)
+	}
+	if multi.Evaluations <= single.Evaluations {
+		t.Fatalf("evaluations %d do not accumulate across restarts (single: %d)",
+			multi.Evaluations, single.Evaluations)
+	}
+}
+
+func TestMultiAnnealerTieBreaksToLowestRestart(t *testing.T) {
+	// A flat objective makes every restart tie at cost 0; the winner must
+	// be restart 0 (the base seed's own run) for reproducibility.
+	p, _ := testProblem(t, 2, 2, 4)
+	flat := ObjectiveFunc(func(mapping.Mapping) (float64, error) { return 0, nil })
+	p.Obj = flat
+	want, err := (&Annealer{Problem: p, Seed: 9, TempSteps: 5}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (&MultiAnnealer{
+		Base:     Annealer{Problem: p, Seed: 9, TempSteps: 5},
+		Restarts: 4,
+		Workers:  4,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapping.Equal(got.Best, want.Best) {
+		t.Fatalf("tie not broken towards restart 0: %v vs %v", got.Best, want.Best)
+	}
+}
+
+func TestMultiAnnealerObjectiveFactory(t *testing.T) {
+	p, obj := testProblem(t, 3, 3, 6)
+	var built int
+	shared, err := (&MultiAnnealer{
+		Base:     Annealer{Problem: p, Seed: 1, TempSteps: 10},
+		Restarts: 4,
+		Workers:  2,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFactory, err := (&MultiAnnealer{
+		Base:     Annealer{Problem: Problem{Mesh: p.Mesh, NumCores: p.NumCores}, Seed: 1, TempSteps: 10},
+		Restarts: 4,
+		Workers:  2,
+		NewObjective: func() (Objective, error) {
+			built++
+			return obj, nil
+		},
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built != 2 {
+		t.Fatalf("factory called %d times, want once per worker lane (2)", built)
+	}
+	if !resultsEqual(shared, viaFactory) {
+		t.Fatalf("factory path diverged: %+v vs %+v", viaFactory, shared)
+	}
+}
+
+func TestMultiAnnealerErrors(t *testing.T) {
+	p, _ := testProblem(t, 2, 2, 4)
+	if _, err := (&MultiAnnealer{Base: Annealer{Problem: p}, Restarts: -1}).Run(); err == nil {
+		t.Error("negative restarts accepted")
+	}
+	boom := errors.New("factory boom")
+	if _, err := (&MultiAnnealer{
+		Base:         Annealer{Problem: Problem{Mesh: p.Mesh, NumCores: 4}},
+		Restarts:     2,
+		Workers:      2,
+		NewObjective: func() (Objective, error) { return nil, boom },
+	}).Run(); !errors.Is(err, boom) {
+		t.Errorf("factory error not propagated: %v", err)
+	}
+	objBoom := errors.New("objective boom")
+	bad := ObjectiveFunc(func(mapping.Mapping) (float64, error) { return 0, objBoom })
+	if _, err := (&MultiAnnealer{
+		Base:     Annealer{Problem: Problem{Mesh: p.Mesh, NumCores: 4, Obj: bad}},
+		Restarts: 3,
+		Workers:  3,
+	}).Run(); !errors.Is(err, objBoom) {
+		t.Errorf("objective error not propagated: %v", err)
+	}
+}
+
+func TestShardedExhaustiveMatchesSerial(t *testing.T) {
+	for _, anchor := range []bool{false, true} {
+		p, _ := testProblem(t, 3, 2, 4)
+		serial, err := (&Exhaustive{Problem: p, Anchor: anchor}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 8, 32} {
+			sharded, err := (&ShardedExhaustive{Problem: p, Anchor: anchor, Workers: workers}).Run()
+			if err != nil {
+				t.Fatalf("anchor=%v workers=%d: %v", anchor, workers, err)
+			}
+			if sharded.BestCost != serial.BestCost ||
+				sharded.Evaluations != serial.Evaluations ||
+				sharded.InitialCost != serial.InitialCost ||
+				!sharded.Certified ||
+				!mapping.Equal(sharded.Best, serial.Best) {
+				t.Fatalf("anchor=%v workers=%d diverged: %+v vs serial %+v",
+					anchor, workers, sharded, serial)
+			}
+		}
+	}
+}
+
+func TestShardedExhaustiveEqualCostTieMatchesSerial(t *testing.T) {
+	// A flat landscape makes every placement optimal; the sharded merge
+	// must still report the first placement of the serial enumeration.
+	p, _ := testProblem(t, 3, 2, 3)
+	p.Obj = ObjectiveFunc(func(mapping.Mapping) (float64, error) { return 42, nil })
+	serial, err := (&Exhaustive{Problem: p}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := (&ShardedExhaustive{Problem: p, Workers: 6}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapping.Equal(sharded.Best, serial.Best) {
+		t.Fatalf("tie resolution diverged: %v vs %v", sharded.Best, serial.Best)
+	}
+}
+
+func TestShardedExhaustiveLimitFallsBackToSerial(t *testing.T) {
+	p, _ := testProblem(t, 2, 2, 4)
+	serial, err := (&Exhaustive{Problem: p, Limit: 5}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := (&ShardedExhaustive{Problem: p, Limit: 5, Workers: 4}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(serial, sharded) {
+		t.Fatalf("limited run diverged: %+v vs %+v", sharded, serial)
+	}
+	if sharded.Certified {
+		t.Fatal("truncated sharded run claims certification")
+	}
+}
+
+func TestShardedExhaustiveErrorPropagates(t *testing.T) {
+	p, _ := testProblem(t, 2, 2, 4)
+	boom := errors.New("boom")
+	p.Obj = ObjectiveFunc(func(mapping.Mapping) (float64, error) { return 0, boom })
+	if _, err := (&ShardedExhaustive{Problem: p, Workers: 4}).Run(); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestShardedExhaustiveValidates(t *testing.T) {
+	if _, err := (&ShardedExhaustive{Workers: 4}).Run(); err == nil {
+		t.Error("nil mesh accepted")
+	}
+	p, _ := testProblem(t, 2, 2, 4)
+	bad := Problem{Mesh: p.Mesh, NumCores: 99, Obj: p.Obj}
+	if _, err := (&ShardedExhaustive{Problem: bad, Workers: 4}).Run(); err == nil {
+		t.Error("oversubscribed problem accepted")
+	}
+}
