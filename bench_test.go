@@ -11,6 +11,7 @@ package repro_test
 // reference [4].
 
 import (
+	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
@@ -425,6 +426,163 @@ func benchShardedES(b *testing.B, workers int) {
 
 func BenchmarkShardedESWorkers1(b *testing.B) { benchShardedES(b, 1) }
 func BenchmarkShardedESWorkersN(b *testing.B) { benchShardedES(b, runtime.NumCPU()) }
+
+// deltaBenchInstance is the incremental-evaluation benchmark workload: a
+// 16-core generated app on the given mesh (8x8 for the headline pair). A
+// quarter-full mesh makes swaps move cores across real distance, and the
+// communication-heavy app (768 packets over 232 of the 240 possible core
+// pairs) makes the O(|E|) full walk carry its production-scale weight
+// against the O(deg) delta path.
+func deltaBenchInstance(b *testing.B, w, h, cores, packets int) (*topology.Mesh, *core.CWM) {
+	b.Helper()
+	mesh, err := topology.NewMesh(w, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := appgen.Generate(appgen.Params{
+		Name: "bench-delta", Cores: cores, Packets: packets,
+		TotalBits: int64(packets) * 625, Seed: 42, Chains: cores / 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cwm, err := core.NewCWM(mesh, noc.Default(), energy.Tech007, g.ToCWG())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mesh, cwm
+}
+
+// benchAnnealCWMEval measures the annealer's move-evaluation hot path —
+// the operation the DeltaObjective subsystem replaces — by replaying the
+// annealer's own proposal distribution (first tile via a uniform core,
+// second uniform over the remaining tiles) against a fixed walk state on
+// the 8x8/16-core instance. The full-recompute path must materialise each
+// proposal to price it (swap, full Cost, swap back); the delta path asks
+// SwapDelta for the O(deg) incremental price. Each benchmark op is one
+// proposal evaluation.
+func benchAnnealCWMEval(b *testing.B, delta bool) {
+	mesh, cwm := deltaBenchInstance(b, 8, 8, 16, 768)
+	numTiles := mesh.NumTiles()
+	rng := rand.New(rand.NewSource(9))
+	mp, err := mapping.Random(rng, cwm.G.NumCores(), numTiles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	occ := mp.Occupants(numTiles)
+	cost, err := cwm.Reset(mp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-generate the proposal stream so rng cost stays out of the
+	// measurement, and replay it once before the timer to warm the route
+	// cache exactly as a real run would.
+	type prop struct{ ta, tb topology.TileID }
+	props := make([]prop, 4096)
+	for i := range props {
+		for {
+			ta := mp[rng.Intn(len(mp))]
+			tb := topology.TileID(rng.Intn(numTiles))
+			if ta != tb {
+				props[i] = prop{ta, tb}
+				break
+			}
+		}
+	}
+	warm := func() {
+		for _, pr := range props {
+			if _, err := cwm.SwapDelta(occ, pr.ta, pr.tb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	warm()
+	b.ResetTimer()
+	if delta {
+		for i := 0; i < b.N; i++ {
+			pr := props[i&4095]
+			if _, err := cwm.SwapDelta(occ, pr.ta, pr.tb); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+	for i := 0; i < b.N; i++ {
+		pr := props[i&4095]
+		mapping.SwapTiles(mp, occ, pr.ta, pr.tb)
+		c, err := cwm.Cost(mp)
+		mapping.SwapTiles(mp, occ, pr.ta, pr.tb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = c
+	}
+	_ = cost
+}
+
+// BenchmarkAnnealCWMFullEval / BenchmarkAnnealCWMDeltaEval are the
+// headline pair of the incremental-evaluation subsystem: the per-proposal
+// pricing cost on the 8x8 mesh, 16-core instance (delta ≥ 5x faster; see
+// README "Incremental evaluation" for measured numbers). The runs below
+// confirm the two paths return bit-identical results end to end.
+func BenchmarkAnnealCWMFullEval(b *testing.B)  { benchAnnealCWMEval(b, false) }
+func BenchmarkAnnealCWMDeltaEval(b *testing.B) { benchAnnealCWMEval(b, true) }
+
+// benchAnnealCWMRun anneals a CWM instance end to end. delta=true hands
+// the engine the CWM itself (it type-asserts search.DeltaObjective and
+// prices each move in O(deg)); delta=false hides the interface behind an
+// ObjectiveFunc, forcing the historical full-recompute path. Both runs
+// are seeded identically and produce bit-identical Best mappings — see
+// TestEnginesDeltaVsFullEquivalence. Whole-run ratios sit below the
+// per-evaluation ratio because the engine's own per-move work (proposal
+// draws, Metropolis test, state swaps) is untouched by the delta path;
+// the larger the instance, the closer the run ratio gets to the
+// evaluation ratio.
+func benchAnnealCWMRun(b *testing.B, w, h, cores, packets int, delta bool) {
+	mesh, cwm := deltaBenchInstance(b, w, h, cores, packets)
+	var obj search.Objective = cwm
+	if !delta {
+		obj = search.ObjectiveFunc(cwm.Cost)
+	}
+	prob := search.Problem{Mesh: mesh, NumCores: cwm.G.NumCores(), Obj: obj}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := (&search.Annealer{Problem: prob, Seed: 1, TempSteps: 30}).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Evaluations), "evals")
+	}
+}
+
+func BenchmarkAnnealCWMRunFull(b *testing.B)  { benchAnnealCWMRun(b, 8, 8, 16, 768, false) }
+func BenchmarkAnnealCWMRunDelta(b *testing.B) { benchAnnealCWMRun(b, 8, 8, 16, 768, true) }
+
+// The 16x16/64-core pair shows the asymptotics: with more cores the
+// affected-edge share of a swap shrinks, so the whole-run win grows.
+func BenchmarkAnnealCWMLargeRunFull(b *testing.B)  { benchAnnealCWMRun(b, 16, 16, 64, 1024, false) }
+func BenchmarkAnnealCWMLargeRunDelta(b *testing.B) { benchAnnealCWMRun(b, 16, 16, 64, 1024, true) }
+
+// benchHillCWM measures the hill climber's O(n²) neighbourhood scan on
+// the 8x8/16-core instance — the engine where incremental pricing pays
+// off most, because the scan is almost pure evaluation.
+func benchHillCWM(b *testing.B, delta bool) {
+	mesh, cwm := deltaBenchInstance(b, 8, 8, 16, 768)
+	var obj search.Objective = cwm
+	if !delta {
+		obj = search.ObjectiveFunc(cwm.Cost)
+	}
+	prob := search.Problem{Mesh: mesh, NumCores: cwm.G.NumCores(), Obj: obj}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&search.HillClimber{Problem: prob, Seed: 1, Restarts: 1}).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHillCWMFull(b *testing.B)  { benchHillCWM(b, false) }
+func BenchmarkHillCWMDelta(b *testing.B) { benchHillCWM(b, true) }
 
 // BenchmarkWormholeSimLarge measures one CDCM simulation of the largest
 // Table-1 instance (99 cores, 446 packets on 12x10).

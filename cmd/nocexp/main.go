@@ -11,7 +11,11 @@
 //	nocexp -exp all
 //
 // Every run is deterministic for a given -seed/-seeds: -workers only
-// changes how many goroutines share the work, never the results.
+// changes how many goroutines share the work, never the results. The
+// CWM legs of every experiment price candidate swaps incrementally
+// (search.DeltaObjective, bit-identical to full recomputes), so the
+// large-mesh rows spend their time in the CDCM simulator, not in
+// re-walking communication graphs.
 package main
 
 import (

@@ -7,6 +7,12 @@
 //
 // explores a 3x3 mesh under the CDCM objective with simulated annealing
 // and prints the winning mapping, its metrics and a timing diagram.
+//
+// Explorations under -model cwm price candidate swaps incrementally
+// (search.DeltaObjective: O(deg) per proposed move instead of re-walking
+// the whole communication graph) with bit-identical results; -model cdcm
+// always runs the full wormhole simulation per candidate, which is the
+// model's point.
 package main
 
 import (

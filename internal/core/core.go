@@ -40,7 +40,37 @@ type CWM struct {
 	Tech energy.Tech
 	G    *model.CWG
 
-	kCache []int16 // routers per (srcTile, dstTile) pair, lazily filled
+	kCache   []int16 // routers per (srcTile, dstTile) pair, lazily filled
+	numTiles int     // cached Mesh.NumTiles(), the kCache stride
+
+	// totalBits is Σw over all CWG edges. It links the two traffic
+	// aggregates — Σ w·(K−1) = Σ w·K − Σw for every mapping — so Cost and
+	// the incremental path only fold router-bits and derive link-bits.
+	totalBits int64
+	// coreBits is the mapping-independent core↔router traffic aggregate:
+	// every communication crosses exactly two core↔router links, so the
+	// ECbit term of equation (1) contributes 2·Σw regardless of placement.
+	coreBits int64
+
+	// adj is the per-core adjacency in structure-of-arrays form: for each
+	// core, the other endpoint, bit volume and G.Edges index of every
+	// incident edge. Built once in NewCWM, it powers the O(deg)
+	// incremental evaluation of cwm_delta.go: a swap of two tiles can only
+	// change the contributions of edges incident to the affected cores.
+	adj []coreAdj
+
+	// Incremental-evaluation state bound by Reset (see cwm_delta.go): the
+	// baseline mapping, its occupancy view, the router count of each CWG
+	// edge's route under that baseline, and the integer traffic aggregate
+	// routerBits = Σ w·K (link-bits derive as routerBits − totalBits).
+	// Keeping the aggregate in exact integer arithmetic is what makes
+	// incremental evaluation bit-identical to a full recompute — swap
+	// deltas are integer updates, so equal-cost mappings tie exactly on
+	// both paths.
+	bound      mapping.Mapping
+	boundOcc   []model.CoreID
+	edgeK      []int16
+	routerBits int64
 }
 
 // NewCWM validates the inputs and builds the evaluator.
@@ -60,38 +90,65 @@ func NewCWM(mesh *topology.Mesh, cfg noc.Config, tech energy.Tech, g *model.CWG)
 	if g.NumCores() > mesh.NumTiles() {
 		return nil, fmt.Errorf("core: %d cores exceed %d tiles", g.NumCores(), mesh.NumTiles())
 	}
+	adj := make([]coreAdj, g.NumCores())
+	for i, e := range g.Edges {
+		adj[e.Src].edges = append(adj[e.Src].edges, adjEdge{nbr: int32(e.Dst), edge: int32(i), bits: e.Bits})
+		adj[e.Dst].edges = append(adj[e.Dst].edges, adjEdge{nbr: int32(e.Src), edge: int32(i), bits: e.Bits})
+	}
 	return &CWM{Mesh: mesh, Cfg: cfg, Tech: tech, G: g,
-		kCache: make([]int16, mesh.NumTiles()*mesh.NumTiles())}, nil
+		kCache:    make([]int16, mesh.NumTiles()*mesh.NumTiles()),
+		numTiles:  mesh.NumTiles(),
+		totalBits: g.TotalBits(),
+		coreBits:  2 * g.TotalBits(),
+		adj:       adj}, nil
 }
 
 // routers returns K for a tile pair, caching the route length.
 func (c *CWM) routers(src, dst topology.TileID) (int, error) {
-	idx := int(src)*c.Mesh.NumTiles() + int(dst)
-	if k := c.kCache[idx]; k > 0 {
+	if k := c.kCache[int(src)*c.numTiles+int(dst)]; k > 0 {
 		return int(k), nil
 	}
+	return c.routersSlow(src, dst)
+}
+
+// routersSlow computes and caches K on a cache miss; kept out of routers
+// so the hot-path hit check inlines into the evaluation loops.
+func (c *CWM) routersSlow(src, dst topology.TileID) (int, error) {
 	r, err := c.Mesh.Route(c.Cfg.Routing, src, dst)
 	if err != nil {
 		return 0, err
 	}
-	c.kCache[idx] = int16(r.K())
+	c.kCache[int(src)*c.numTiles+int(dst)] = int16(r.K())
 	return r.K(), nil
 }
 
-// Cost implements search.Objective: EDyNoC in joules.
+// Cost implements search.Objective: EDyNoC in joules. The per-edge sum
+// Σ w_ab·EBit(K) is folded as exact integer traffic aggregates — Σ w·K
+// router-bits and Σ w·(K−1) link-bits — and priced with one call to
+// Tech.DynamicFromTraffic, the same formula the CDCM simulator path uses
+// (equations (3)/(4) agree on dynamic energy by construction). Integer
+// folding means the value is independent of edge order, and incremental
+// swap deltas (cwm_delta.go) reproduce it bit-for-bit.
+//
+// Per the Objective hot-path contract, Cost assumes mp is injective and
+// performs only a length check: the search engines call it once per
+// proposed move with mappings that are valid by construction, and a full
+// injectivity scan here would dominate the hot loop. Callers pricing an
+// externally supplied mapping must validate it first — Reset and Traffic
+// are the validating entry points.
 func (c *CWM) Cost(mp mapping.Mapping) (float64, error) {
 	if len(mp) != c.G.NumCores() {
 		return 0, fmt.Errorf("core: mapping covers %d cores, CWG has %d", len(mp), c.G.NumCores())
 	}
-	var sum float64
+	var rb int64
 	for _, e := range c.G.Edges {
 		k, err := c.routers(mp[e.Src], mp[e.Dst])
 		if err != nil {
 			return 0, err
 		}
-		sum += float64(e.Bits) * c.Tech.BitEnergy(k)
+		rb += e.Bits * int64(k)
 	}
-	return sum, nil
+	return c.Tech.DynamicFromTraffic(rb, rb-c.totalBits, c.coreBits), nil
 }
 
 // Traffic returns the per-resource bit aggregates of a mapping — the cost

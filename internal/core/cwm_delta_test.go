@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/appgen"
+	"repro/internal/energy"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/noc"
+	"repro/internal/search"
+	"repro/internal/topology"
+)
+
+// deltaInstance builds a seeded mesh + CWG pair sized for delta testing.
+func deltaInstance(t testing.TB, w, h, cores int) (*topology.Mesh, *model.CDCG) {
+	t.Helper()
+	mesh, err := topology.NewMesh(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := appgen.Generate(appgen.Params{
+		Name:      "delta-test",
+		Cores:     cores,
+		Packets:   8 * cores,
+		TotalBits: int64(5000 * cores),
+		Seed:      99,
+		Chains:    cores / 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mesh, g
+}
+
+func newTestCWM(t testing.TB, mesh *topology.Mesh, g *model.CDCG) *CWM {
+	t.Helper()
+	cwm, err := NewCWM(mesh, noc.Default(), energy.Tech007, g.ToCWG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cwm
+}
+
+func TestCWMResetMatchesCost(t *testing.T) {
+	mesh, g := deltaInstance(t, 4, 4, 8)
+	cwm := newTestCWM(t, mesh, g)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		mp, err := mapping.Random(rng, g.NumCores(), mesh.NumTiles())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := cwm.Cost(mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cwm.Reset(mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Reset = %g, Cost = %g (must be bit-identical)", got, want)
+		}
+	}
+}
+
+func TestCWMResetValidatesInjectivity(t *testing.T) {
+	mesh, g := deltaInstance(t, 4, 4, 8)
+	cwm := newTestCWM(t, mesh, g)
+	dup := mapping.Identity(g.NumCores())
+	dup[1] = dup[0] // two cores on one tile
+	if _, err := cwm.Reset(dup); err == nil {
+		t.Fatal("Reset accepted a non-injective mapping")
+	}
+	short := mapping.Identity(g.NumCores() - 1)
+	if _, err := cwm.Reset(short); err == nil {
+		t.Fatal("Reset accepted a short mapping")
+	}
+	out := mapping.Identity(g.NumCores())
+	out[0] = topology.TileID(mesh.NumTiles())
+	if _, err := cwm.Reset(out); err == nil {
+		t.Fatal("Reset accepted an out-of-range tile")
+	}
+}
+
+func TestCWMSwapDeltaBeforeResetErrors(t *testing.T) {
+	mesh, g := deltaInstance(t, 4, 4, 8)
+	cwm := newTestCWM(t, mesh, g)
+	occ := mapping.Identity(g.NumCores()).Occupants(mesh.NumTiles())
+	if _, err := cwm.SwapDelta(occ, 0, 1); err == nil {
+		t.Fatal("SwapDelta before Reset must error")
+	}
+}
+
+// TestCWMSwapDeltaMatchesFullRecompute proposes random swaps (occupied and
+// empty tiles alike) and checks the O(deg) delta against the difference of
+// two full evaluations, committing roughly half the moves so the bound
+// baseline keeps moving.
+func TestCWMSwapDeltaMatchesFullRecompute(t *testing.T) {
+	for _, dims := range [][3]int{{4, 4, 8}, {8, 8, 16}} {
+		mesh, g := deltaInstance(t, dims[0], dims[1], dims[2])
+		cwm := newTestCWM(t, mesh, g)
+		rng := rand.New(rand.NewSource(7))
+		mp, err := mapping.Random(rng, g.NumCores(), mesh.NumTiles())
+		if err != nil {
+			t.Fatal(err)
+		}
+		occ := mp.Occupants(mesh.NumTiles())
+		cost, err := cwm.Reset(mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracked := cost
+		for i := 0; i < 400; i++ {
+			ta := topology.TileID(rng.Intn(mesh.NumTiles()))
+			tb := topology.TileID(rng.Intn(mesh.NumTiles()))
+			if ta == tb {
+				continue
+			}
+			d, err := cwm.SwapDelta(occ, ta, tb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before, err := cwm.Cost(mp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			swapped := mp.Clone()
+			mapping.SwapTiles(swapped, swapped.Occupants(mesh.NumTiles()), ta, tb)
+			after, err := cwm.Cost(swapped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := after - before
+			if diff := math.Abs(d - want); diff > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("swap (%d,%d): delta %g, full recompute difference %g", ta, tb, d, want)
+			}
+			if rng.Intn(2) == 0 {
+				mapping.SwapTiles(mp, occ, ta, tb)
+				cwm.Commit(ta, tb)
+				tracked += d
+			}
+		}
+		// Accumulated deltas must stay within floating-point noise of a
+		// full recompute — the drift the engines' final re-price guards.
+		full, err := cwm.Cost(mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(tracked - full); diff > 1e-9*(1+math.Abs(full)) {
+			t.Fatalf("delta-tracked cost %g drifted from full recompute %g by %g", tracked, full, diff)
+		}
+	}
+}
+
+// TestEnginesDeltaVsFullEquivalence is the seeded equivalence matrix of
+// the issue: for SA, hill climbing and tabu search on 4x4 and 8x8 meshes,
+// the CWM delta path must return the same Best mapping, the same BestCost
+// and the same Evaluations count as the full-recompute path (obtained by
+// hiding the DeltaObjective interface behind an ObjectiveFunc).
+func TestEnginesDeltaVsFullEquivalence(t *testing.T) {
+	for _, dims := range [][3]int{{4, 4, 8}, {8, 8, 16}} {
+		mesh, g := deltaInstance(t, dims[0], dims[1], dims[2])
+		for _, seed := range []int64{1, 2, 3} {
+			for name, run := range map[string]func(p search.Problem) (*search.Result, error){
+				"sa": func(p search.Problem) (*search.Result, error) {
+					return (&search.Annealer{Problem: p, Seed: seed, TempSteps: 15, Reheats: 1}).Run()
+				},
+				"hill": func(p search.Problem) (*search.Result, error) {
+					return (&search.HillClimber{Problem: p, Seed: seed, Restarts: 1}).Run()
+				},
+				"tabu": func(p search.Problem) (*search.Result, error) {
+					return (&search.Tabu{Problem: p, Seed: seed, Iterations: 10}).Run()
+				},
+			} {
+				cwm := newTestCWM(t, mesh, g)
+				full, err := run(search.Problem{Mesh: mesh, NumCores: g.NumCores(),
+					Obj: search.ObjectiveFunc(cwm.Cost)})
+				if err != nil {
+					t.Fatalf("%s full: %v", name, err)
+				}
+				delta, err := run(search.Problem{Mesh: mesh, NumCores: g.NumCores(), Obj: cwm})
+				if err != nil {
+					t.Fatalf("%s delta: %v", name, err)
+				}
+				if !mapping.Equal(full.Best, delta.Best) {
+					t.Fatalf("%s %dx%d seed %d: delta best %v != full best %v",
+						name, dims[0], dims[1], seed, delta.Best, full.Best)
+				}
+				if full.BestCost != delta.BestCost {
+					t.Fatalf("%s %dx%d seed %d: delta cost %g != full cost %g",
+						name, dims[0], dims[1], seed, delta.BestCost, full.BestCost)
+				}
+				if full.Evaluations != delta.Evaluations {
+					t.Fatalf("%s %dx%d seed %d: delta evaluations %d != full %d",
+						name, dims[0], dims[1], seed, delta.Evaluations, full.Evaluations)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiAnnealerDeltaDeterministicAcrossWorkers checks the delta fast
+// path composes with the parallel runner: restarts bind per-worker CWM
+// instances, and the merged result is bit-identical for every worker
+// count (this runs under -race in CI).
+func TestMultiAnnealerDeltaDeterministicAcrossWorkers(t *testing.T) {
+	mesh, g := deltaInstance(t, 4, 4, 8)
+	cwg := g.ToCWG()
+	run := func(workers int) *search.Result {
+		t.Helper()
+		res, err := (&search.MultiAnnealer{
+			Base: search.Annealer{
+				Problem:   search.Problem{Mesh: mesh, NumCores: g.NumCores()},
+				Seed:      11,
+				TempSteps: 10,
+			},
+			Restarts: 4,
+			Workers:  workers,
+			NewObjective: func() (search.Objective, error) {
+				return NewCWM(mesh, noc.Default(), energy.Tech007, cwg)
+			},
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, runtime.NumCPU()} {
+		res := run(workers)
+		if !mapping.Equal(ref.Best, res.Best) || ref.BestCost != res.BestCost ||
+			ref.Evaluations != res.Evaluations || ref.Improvements != res.Improvements {
+			t.Fatalf("workers=%d diverged from workers=1: %+v vs %+v", workers, res, ref)
+		}
+	}
+}
+
+// TestDeltaRunDeterministicUnderSeed re-runs the delta path on one CWM
+// instance: the second run must rebind cleanly and reproduce the first.
+func TestDeltaRunDeterministicUnderSeed(t *testing.T) {
+	mesh, g := deltaInstance(t, 4, 4, 8)
+	cwm := newTestCWM(t, mesh, g)
+	p := search.Problem{Mesh: mesh, NumCores: g.NumCores(), Obj: cwm}
+	a := &search.Annealer{Problem: p, Seed: 21, TempSteps: 12}
+	r1, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapping.Equal(r1.Best, r2.Best) || r1.BestCost != r2.BestCost || r1.Evaluations != r2.Evaluations {
+		t.Fatalf("same seed diverged on the delta path: %+v vs %+v", r1, r2)
+	}
+}

@@ -1,0 +1,244 @@
+package search
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/topology"
+)
+
+// deltaWireLength wraps the wireLength test objective with a
+// search.DeltaObjective implementation. Costs are integer-valued, so the
+// incremental path is exact and a delta-driven engine must retrace the
+// full-recompute engine move for move.
+type deltaWireLength struct {
+	wireLength
+	bound mapping.Mapping
+
+	resets, swapDeltas, commits int
+}
+
+var _ DeltaObjective = (*deltaWireLength)(nil)
+
+func (w *deltaWireLength) Reset(mp mapping.Mapping) (float64, error) {
+	if err := mp.Validate(w.mesh.NumTiles()); err != nil {
+		return 0, err
+	}
+	w.bound = mp.Clone()
+	w.resets++
+	return w.Cost(mp)
+}
+
+func (w *deltaWireLength) SwapDelta(occ []model.CoreID, ta, tb topology.TileID) (float64, error) {
+	if w.bound == nil {
+		return 0, errors.New("SwapDelta before Reset")
+	}
+	w.swapDeltas++
+	ca, cb := occ[ta], occ[tb]
+	pos := func(c int) topology.TileID {
+		switch t := w.bound[c]; t {
+		case ta:
+			return tb
+		case tb:
+			return ta
+		default:
+			return t
+		}
+	}
+	var d float64
+	for _, f := range w.flows {
+		s, t := model.CoreID(f[0]), model.CoreID(f[1])
+		if s != ca && s != cb && t != ca && t != cb {
+			continue
+		}
+		d += float64(f[2] * w.mesh.MinHops(pos(f[0]), pos(f[1])))
+		d -= float64(f[2] * w.mesh.MinHops(w.bound[f[0]], w.bound[f[1]]))
+	}
+	return d, nil
+}
+
+func (w *deltaWireLength) Commit(ta, tb topology.TileID) float64 {
+	w.commits++
+	for c, t := range w.bound {
+		switch t {
+		case ta:
+			w.bound[c] = tb
+		case tb:
+			w.bound[c] = ta
+		}
+	}
+	c, err := w.Cost(w.bound)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// deltaProblem returns the same instance twice: once behind the plain
+// Objective (full recompute path) and once behind the DeltaObjective.
+func deltaProblem(t *testing.T, w, h, cores int) (full, delta Problem, dw *deltaWireLength) {
+	t.Helper()
+	full, obj := testProblem(t, w, h, cores)
+	dw = &deltaWireLength{wireLength: *obj}
+	delta = Problem{Mesh: full.Mesh, NumCores: cores, Obj: dw}
+	return full, delta, dw
+}
+
+// TestAnnealerSingleTile is the regression test for the 1-tile hang:
+// propose() can never draw two distinct tiles when numTiles == 1, and the
+// auto-calibration pass used to call it before the main loop, spinning
+// forever. The unique mapping must be returned immediately.
+func TestAnnealerSingleTile(t *testing.T) {
+	mesh, err := topology.NewMesh(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Problem{Mesh: mesh, NumCores: 1, Obj: ObjectiveFunc(func(mp mapping.Mapping) (float64, error) {
+		return 7, nil
+	})}
+	done := make(chan *Result, 1)
+	errc := make(chan error, 1)
+	go func() {
+		res, err := (&Annealer{Problem: p, Seed: 1}).Run()
+		if err != nil {
+			errc <- err
+			return
+		}
+		done <- res
+	}()
+	select {
+	case res := <-done:
+		if !mapping.Equal(res.Best, mapping.Mapping{0}) {
+			t.Fatalf("best = %v, want the unique mapping [0]", res.Best)
+		}
+		if res.BestCost != 7 || res.InitialCost != 7 || res.Evaluations != 1 {
+			t.Fatalf("unexpected result %+v", res)
+		}
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("annealer still hangs on a 1-tile mesh")
+	}
+}
+
+// TestAnnealerSingleTileInitial covers the explicit-Initial variant of the
+// same degenerate instance.
+func TestAnnealerSingleTileInitial(t *testing.T) {
+	mesh, err := topology.NewMesh(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Problem{Mesh: mesh, NumCores: 1, Obj: ObjectiveFunc(func(mp mapping.Mapping) (float64, error) {
+		return 3, nil
+	})}
+	res, err := (&Annealer{Problem: p, Seed: 2, Initial: mapping.Mapping{0}, InitialTemp: 5}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost != 3 || !mapping.Equal(res.Best, mapping.Mapping{0}) {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+// TestHillClimberBestCostMatchesFullRecompute pins the satellite fix for
+// the accumulated-delta drift: the returned BestCost must equal a full
+// Cost(Best) recompute exactly, on both the full path (the engine now
+// records the evaluated neighbour cost instead of cost += bestD) and the
+// delta path (the engine re-prices the winner before returning).
+func TestHillClimberBestCostMatchesFullRecompute(t *testing.T) {
+	full, delta, _ := deltaProblem(t, 3, 3, 6)
+	for name, p := range map[string]Problem{"full": full, "delta": delta} {
+		res, err := (&HillClimber{Problem: p, Seed: 17, Restarts: 2}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := full.Obj.Cost(res.Best)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BestCost != want {
+			t.Fatalf("%s path: BestCost = %g, full recompute = %g", name, res.BestCost, want)
+		}
+	}
+}
+
+// TestTabuBestCostMatchesFullRecompute extends the same exactness
+// guarantee to tabu search.
+func TestTabuBestCostMatchesFullRecompute(t *testing.T) {
+	full, delta, _ := deltaProblem(t, 3, 3, 6)
+	for name, p := range map[string]Problem{"full": full, "delta": delta} {
+		res, err := (&Tabu{Problem: p, Seed: 13, Iterations: 30}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := full.Obj.Cost(res.Best)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BestCost != want {
+			t.Fatalf("%s path: BestCost = %g, full recompute = %g", name, res.BestCost, want)
+		}
+	}
+}
+
+// TestDeltaPathMatchesFullPath runs every swap-move engine through both
+// evaluation paths on the same seeded instance. The wire-length objective
+// is integer-valued, so the incremental deltas are exact and the
+// trajectories must coincide exactly: same best mapping, same cost, same
+// number of objective evaluations.
+func TestDeltaPathMatchesFullPath(t *testing.T) {
+	for _, dims := range [][3]int{{3, 3, 6}, {4, 4, 9}, {5, 4, 11}} {
+		full, delta, dw := deltaProblem(t, dims[0], dims[1], dims[2])
+		for name, run := range map[string]func(p Problem) (*Result, error){
+			"annealer": func(p Problem) (*Result, error) {
+				return (&Annealer{Problem: p, Seed: 5, TempSteps: 12, Reheats: 1}).Run()
+			},
+			"hill": func(p Problem) (*Result, error) {
+				return (&HillClimber{Problem: p, Seed: 5, Restarts: 2}).Run()
+			},
+			"tabu": func(p Problem) (*Result, error) {
+				return (&Tabu{Problem: p, Seed: 5, Iterations: 25}).Run()
+			},
+		} {
+			ref, err := run(full)
+			if err != nil {
+				t.Fatalf("%s full: %v", name, err)
+			}
+			got, err := run(delta)
+			if err != nil {
+				t.Fatalf("%s delta: %v", name, err)
+			}
+			if !mapping.Equal(ref.Best, got.Best) {
+				t.Fatalf("%s %dx%d: delta best %v != full best %v", name, dims[0], dims[1], got.Best, ref.Best)
+			}
+			if ref.BestCost != got.BestCost {
+				t.Fatalf("%s %dx%d: delta cost %g != full cost %g", name, dims[0], dims[1], got.BestCost, ref.BestCost)
+			}
+			if ref.Evaluations != got.Evaluations {
+				t.Fatalf("%s %dx%d: delta evaluations %d != full %d", name, dims[0], dims[1], got.Evaluations, ref.Evaluations)
+			}
+			if dw.swapDeltas == 0 || dw.commits == 0 || dw.resets == 0 {
+				t.Fatalf("%s %dx%d: delta path not exercised (%d resets, %d deltas, %d commits)",
+					name, dims[0], dims[1], dw.resets, dw.swapDeltas, dw.commits)
+			}
+		}
+	}
+}
+
+// TestDeltaEngineResetsBeforeSwapDelta verifies the engines bind the
+// objective with Reset before pricing any swap — SwapDelta on an unbound
+// objective errors, so a successful run proves the sequencing.
+func TestDeltaEngineResetsBeforeSwapDelta(t *testing.T) {
+	_, delta, dw := deltaProblem(t, 3, 3, 5)
+	dw.bound = nil // a skipped Reset would now make every SwapDelta error
+	res, err := (&Annealer{Problem: delta, Seed: 1, TempSteps: 3}).Run()
+	if err != nil {
+		t.Fatalf("engine must Reset before SwapDelta: %v", err)
+	}
+	if res == nil || dw.resets == 0 {
+		t.Fatal("Reset was never called")
+	}
+}

@@ -111,7 +111,9 @@ func (r *RandomSearch) Run() (*Result, error) {
 
 // HillClimber performs steepest-descent over the swap neighbourhood with
 // random restarts: from a random mapping, repeatedly apply the best
-// improving swap until none exists.
+// improving swap until none exists. Its O(numTiles²) neighbourhood scan
+// per move is where the DeltaObjective fast path pays off most: each
+// neighbour is priced in O(deg) instead of a full O(|E|) walk.
 type HillClimber struct {
 	Problem  Problem
 	Seed     int64
@@ -130,22 +132,25 @@ func (h *HillClimber) Run() (*Result, error) {
 	rng := rand.New(rand.NewSource(h.Seed))
 	numTiles := h.Problem.Mesh.NumTiles()
 	res := &Result{BestCost: math.Inf(1)}
+	var useDeltaAny bool
 	for r := 0; r < restarts; r++ {
 		cur, err := mapping.Random(rng, h.Problem.NumCores, numTiles)
 		if err != nil {
 			return nil, err
 		}
 		occ := cur.Occupants(numTiles)
-		cost, err := h.Problem.Obj.Cost(cur)
+		cost, dobj, useDelta, err := bindObjective(h.Problem.Obj, cur)
 		if err != nil {
 			return nil, err
 		}
+		useDeltaAny = useDelta
 		res.Evaluations++
 		if r == 0 {
 			res.InitialCost = cost
 		}
 		for {
 			bestD := 0.0
+			bestC := 0.0
 			bestA, bestB := topology.TileID(-1), topology.TileID(-1)
 			for a := 0; a < numTiles; a++ {
 				for b := a + 1; b < numTiles; b++ {
@@ -153,15 +158,23 @@ func (h *HillClimber) Run() (*Result, error) {
 					if occ[ta] == mapping.Unassigned && occ[tb] == mapping.Unassigned {
 						continue
 					}
-					mapping.SwapTiles(cur, occ, ta, tb)
-					c, err := h.Problem.Obj.Cost(cur)
-					mapping.SwapTiles(cur, occ, ta, tb)
+					var c, d float64
+					if useDelta {
+						d, err = dobj.SwapDelta(occ, ta, tb)
+						c = cost + d
+					} else {
+						mapping.SwapTiles(cur, occ, ta, tb)
+						c, err = h.Problem.Obj.Cost(cur)
+						mapping.SwapTiles(cur, occ, ta, tb)
+						d = c - cost
+					}
 					if err != nil {
 						return nil, err
 					}
 					res.Evaluations++
-					if d := c - cost; d < bestD {
+					if d < bestD {
 						bestD = d
+						bestC = c
 						bestA, bestB = ta, tb
 					}
 				}
@@ -170,12 +183,25 @@ func (h *HillClimber) Run() (*Result, error) {
 				break // local optimum
 			}
 			mapping.SwapTiles(cur, occ, bestA, bestB)
-			cost += bestD
+			// Record an exactly recomputed cost rather than accumulating
+			// cost += bestD: repeated accumulation drifts away from the
+			// true cost and distorts later d < bestD comparisons. On the
+			// full path bestC is the evaluated neighbour's full Cost; on
+			// the delta path Commit returns the exact updated baseline.
+			if useDelta {
+				bestC = dobj.Commit(bestA, bestB)
+			}
+			cost = bestC
 		}
 		if cost < res.BestCost {
 			res.BestCost = cost
 			res.Best = cur.Clone()
 			res.Improvements++
+		}
+	}
+	if useDeltaAny {
+		if err := repriceBest(h.Problem.Obj, res); err != nil {
+			return nil, err
 		}
 	}
 	return res, nil
@@ -212,7 +238,7 @@ func (t *Tabu) Run() (*Result, error) {
 		return nil, err
 	}
 	occ := cur.Occupants(numTiles)
-	cost, err := t.Problem.Obj.Cost(cur)
+	cost, dobj, useDelta, err := bindObjective(t.Problem.Obj, cur)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +246,16 @@ func (t *Tabu) Run() (*Result, error) {
 
 	tabuUntil := make(map[[2]topology.TileID]int, numTiles)
 	for it := 0; it < iters; it++ {
-		bestC := math.Inf(1)
+		// All neighbour comparisons run in the delta domain: the delta
+		// path's SwapDelta and the full path's c − cost are bit-identical
+		// for an exact DeltaObjective (same operands), whereas comparing
+		// reconstructed absolute costs (cost + d) could round a tie apart
+		// and make the two paths pick different moves. The aspiration
+		// threshold is expressed the same way, against a per-iteration
+		// constant.
+		bestD := math.Inf(1)
+		var bestC float64
+		aspire := res.BestCost - cost
 		bestA, bestB := topology.TileID(-1), topology.TileID(-1)
 		for a := 0; a < numTiles; a++ {
 			for b := a + 1; b < numTiles; b++ {
@@ -228,17 +263,25 @@ func (t *Tabu) Run() (*Result, error) {
 				if occ[ta] == mapping.Unassigned && occ[tb] == mapping.Unassigned {
 					continue
 				}
-				mapping.SwapTiles(cur, occ, ta, tb)
-				c, err := t.Problem.Obj.Cost(cur)
-				mapping.SwapTiles(cur, occ, ta, tb)
+				var c, d float64
+				if useDelta {
+					d, err = dobj.SwapDelta(occ, ta, tb)
+					c = cost + d
+				} else {
+					mapping.SwapTiles(cur, occ, ta, tb)
+					c, err = t.Problem.Obj.Cost(cur)
+					mapping.SwapTiles(cur, occ, ta, tb)
+					d = c - cost
+				}
 				if err != nil {
 					return nil, err
 				}
 				res.Evaluations++
-				if tabuUntil[[2]topology.TileID{ta, tb}] > it && c >= res.BestCost {
+				if tabuUntil[[2]topology.TileID{ta, tb}] > it && d >= aspire {
 					continue // tabu and no aspiration
 				}
-				if c < bestC {
+				if d < bestD {
+					bestD = d
 					bestC = c
 					bestA, bestB = ta, tb
 				}
@@ -248,12 +291,22 @@ func (t *Tabu) Run() (*Result, error) {
 			break // every move tabu: rare on real instances
 		}
 		mapping.SwapTiles(cur, occ, bestA, bestB)
+		// As in the hill climber, the delta path adopts Commit's exact
+		// recompute instead of the accumulated cost + delta.
+		if useDelta {
+			bestC = dobj.Commit(bestA, bestB)
+		}
 		cost = bestC
 		tabuUntil[[2]topology.TileID{bestA, bestB}] = it + tenure
 		if cost < res.BestCost {
 			res.BestCost = cost
 			copy(res.Best, cur)
 			res.Improvements++
+		}
+	}
+	if useDelta {
+		if err := repriceBest(t.Problem.Obj, res); err != nil {
+			return nil, err
 		}
 	}
 	return res, nil

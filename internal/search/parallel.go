@@ -11,12 +11,15 @@ import (
 )
 
 // ObjectiveFactory builds one objective instance per worker goroutine.
-// The core evaluators are stateful (the CWM route cache, the CDCM
-// wormhole simulator) and therefore not safe for concurrent use; the
-// parallel engines call the factory once per worker lane instead of
-// sharing Problem.Obj. A nil factory falls back to the shared objective,
-// which is only correct when that objective is concurrency-safe (e.g. a
-// pure ObjectiveFunc).
+// The core evaluators are stateful (the CWM route cache and incremental
+// DeltaObjective binding, the CDCM wormhole simulator) and therefore not
+// safe for concurrent use; the parallel engines call the factory once per
+// worker lane instead of sharing Problem.Obj. A nil factory falls back to
+// the shared objective, which is only correct when that objective is
+// concurrency-safe (e.g. a pure ObjectiveFunc) — in particular a shared
+// DeltaObjective would race on its bound mapping. Each lane's instance
+// takes the same engine-internal fast path (DeltaObjective or full Cost)
+// as a serial run would, so the worker count never changes results.
 type ObjectiveFactory func() (Objective, error)
 
 // perWorkerObjectives materialises one objective per worker lane. All

@@ -20,8 +20,64 @@ import (
 // Objective prices a mapping; lower is better. Implementations are the
 // CWM evaluator (EDyNoC of equation (3)) and the CDCM evaluator (ENoC of
 // equation (10)) in package core.
+//
+// Hot-path contract: the engines call Cost once per proposed move, always
+// with a structurally valid, injective mapping — starting points are
+// validated once up front (mapping.Random output, or the explicit
+// Initial/Reset validation) and every subsequent move is an
+// injectivity-preserving tile swap. Implementations may therefore skip
+// per-call validation inside Cost. Callers pricing externally supplied
+// mappings must validate them first (mapping.Validate) or go through an
+// entry point that does, such as core.CWM.Reset or core.CWM.Traffic.
 type Objective interface {
 	Cost(mp mapping.Mapping) (float64, error)
+}
+
+// DeltaObjective is an optional extension of Objective for evaluators
+// that can price a single tile swap incrementally. A swap of tiles
+// (ta, tb) only changes the contributions of the edges incident to the
+// affected cores, so an implementation holding per-core incidence lists
+// prices a move in O(deg(a)+deg(b)) instead of the O(|E|) full walk —
+// the difference between tolerable and fast on large meshes, where the
+// engines evaluate tens of thousands of moves per run.
+//
+// The protocol is bind/price/apply:
+//
+//	cost, _ := obj.Reset(mp)           // bind mp (copied) and price it fully
+//	d, _ := obj.SwapDelta(occ, ta, tb) // price a proposed swap, no mutation
+//	cost = obj.Commit(ta, tb)          // make an accepted swap permanent
+//
+// occ must be the occupancy view of the bound mapping (the engines
+// maintain it alongside their working mapping). The engines type-assert
+// their Problem.Obj against this interface and fall back to plain Cost
+// when it is absent (the CDCM simulator keeps the full path: contention
+// is global, so no cheap swap delta exists).
+//
+// Commit returns the exact cost of the updated baseline, and the engines
+// adopt it as their tracked cost: accumulating cost += delta instead
+// would let floating-point rounding drift the walk away from the
+// full-recompute path and flip comparisons on exact cost ties. As a
+// final guard — implementations whose deltas are only approximately
+// consistent with Cost still converge — the engines also re-price the
+// returned Best with one full Cost call.
+//
+// A DeltaObjective is stateful between Reset and the last Commit and
+// therefore never safe for concurrent use; the parallel engines must
+// receive an ObjectiveFactory so each worker lane binds its own instance.
+type DeltaObjective interface {
+	Objective
+	// Reset binds a copy of mp as the incremental baseline and returns
+	// its full cost. It validates mp (including injectivity) — the one
+	// validation point of the hot-path contract.
+	Reset(mp mapping.Mapping) (float64, error)
+	// SwapDelta returns cost(swapped) − cost(bound) for exchanging the
+	// occupants of ta and tb, without applying the swap. occ is the
+	// occupancy view of the bound mapping.
+	SwapDelta(occ []model.CoreID, ta, tb topology.TileID) (float64, error)
+	// Commit applies a swap to the bound state and returns the exact
+	// cost of the updated baseline. Call it exactly when the engine
+	// accepts a move previously priced with SwapDelta.
+	Commit(ta, tb topology.TileID) float64
 }
 
 // ObjectiveFunc adapts a plain function to the Objective interface.
@@ -29,6 +85,34 @@ type ObjectiveFunc func(mp mapping.Mapping) (float64, error)
 
 // Cost implements Objective.
 func (f ObjectiveFunc) Cost(mp mapping.Mapping) (float64, error) { return f(mp) }
+
+// bindObjective primes an objective for one walk over the given starting
+// mapping: a DeltaObjective binds it via Reset (which also validates
+// injectivity), the fallback prices it with a plain Cost call. The caller
+// counts the returned evaluation.
+func bindObjective(obj Objective, mp mapping.Mapping) (cost float64, dobj DeltaObjective, useDelta bool, err error) {
+	if dobj, ok := obj.(DeltaObjective); ok {
+		c, err := dobj.Reset(mp)
+		return c, dobj, true, err
+	}
+	c, err := obj.Cost(mp)
+	return c, nil, false, err
+}
+
+// repriceBest re-prices res.Best with one full evaluation — the delta
+// path's final guard against objectives whose deltas are only
+// approximately consistent with Cost. Deliberately not counted in
+// res.Evaluations: it is a guard, not search work, and keeping the count
+// identical to the full-recompute path makes the two paths directly
+// comparable in tests.
+func repriceBest(obj Objective, res *Result) error {
+	c, err := obj.Cost(res.Best)
+	if err != nil {
+		return err
+	}
+	res.BestCost = c
+	return nil
+}
 
 // Result reports the outcome of one search run.
 type Result struct {
@@ -128,7 +212,7 @@ func (a *Annealer) Run() (*Result, error) {
 	occ := cur.Occupants(numTiles)
 
 	res := &Result{}
-	cost, err := a.Problem.Obj.Cost(cur)
+	cost, dobj, useDelta, err := bindObjective(a.Problem.Obj, cur)
 	if err != nil {
 		return nil, err
 	}
@@ -136,6 +220,13 @@ func (a *Annealer) Run() (*Result, error) {
 	res.InitialCost = cost
 	res.Best = cur.Clone()
 	res.BestCost = cost
+
+	// A 1-tile mesh admits exactly one mapping, so it is already the
+	// optimum — and propose() below could never draw two distinct tiles:
+	// without this return the calibration pass would spin forever.
+	if numTiles < 2 {
+		return res, nil
+	}
 
 	alpha := a.Alpha
 	if alpha == 0 {
@@ -159,17 +250,41 @@ func (a *Annealer) Run() (*Result, error) {
 
 	propose := func() (ta, tb topology.TileID) {
 		for {
-			ta = topology.TileID(rng.Intn(numTiles))
+			// Draw the first tile through a uniform core, so it is always
+			// occupied: a swap of two empty tiles is a no-op, and on a
+			// sparsely occupied mesh drawing tiles directly wastes most
+			// draws on empty-empty pairs before finding a real move.
+			ta = cur[rng.Intn(len(cur))]
 			tb = topology.TileID(rng.Intn(numTiles))
-			if ta == tb {
-				continue
+			if ta != tb {
+				return ta, tb
 			}
-			// A swap of two empty tiles changes nothing; re-draw.
-			if occ[ta] == mapping.Unassigned && occ[tb] == mapping.Unassigned {
-				continue
-			}
-			return ta, tb
 		}
+	}
+
+	// price returns the would-be cost of swapping (ta, tb) and its delta
+	// against the current cost, leaving cur/occ untouched. The delta path
+	// asks the objective for the O(deg) incremental price; the fallback
+	// applies the swap, runs a full Cost, and undoes it.
+	price := func(ta, tb topology.TileID) (float64, float64, error) {
+		if useDelta {
+			d, err := dobj.SwapDelta(occ, ta, tb)
+			return cost + d, d, err
+		}
+		mapping.SwapTiles(cur, occ, ta, tb)
+		c, err := a.Problem.Obj.Cost(cur)
+		mapping.SwapTiles(cur, occ, ta, tb) // undo
+		return c, c - cost, err
+	}
+	// accept applies the swap priced at newCost. On the delta path the
+	// tracked cost is Commit's exact recompute of the updated baseline,
+	// not an accumulation of deltas — see the DeltaObjective contract.
+	accept := func(ta, tb topology.TileID, newCost float64) {
+		mapping.SwapTiles(cur, occ, ta, tb)
+		if useDelta {
+			newCost = dobj.Commit(ta, tb)
+		}
+		cost = newCost
 	}
 
 	temp := a.InitialTemp
@@ -180,14 +295,12 @@ func (a *Annealer) Run() (*Result, error) {
 		var n int
 		for i := 0; i < 40; i++ {
 			ta, tb := propose()
-			mapping.SwapTiles(cur, occ, ta, tb)
-			c, err := a.Problem.Obj.Cost(cur)
-			mapping.SwapTiles(cur, occ, ta, tb) // undo
+			_, d, err := price(ta, tb)
 			if err != nil {
 				return nil, err
 			}
 			res.Evaluations++
-			if d := c - cost; d > 0 {
+			if d > 0 {
 				sum += d
 				n++
 			}
@@ -222,28 +335,35 @@ func (a *Annealer) Run() (*Result, error) {
 				occ[tl] = model.CoreID(c)
 			}
 			cost = res.BestCost
+			if useDelta {
+				// Rebind the incremental baseline to the jump target. The
+				// full recompute also flushes any floating-point drift the
+				// accumulated deltas picked up since the last Reset.
+				c, err := dobj.Reset(cur)
+				if err != nil {
+					return nil, err
+				}
+				cost = c
+				res.BestCost = c
+			}
 			stalled = 0
 		}
 		improvedThisStep := false
 		for mv := 0; mv < moves; mv++ {
 			ta, tb := propose()
-			mapping.SwapTiles(cur, occ, ta, tb)
-			c, err := a.Problem.Obj.Cost(cur)
+			c, d, err := price(ta, tb)
 			if err != nil {
 				return nil, err
 			}
 			res.Evaluations++
-			d := c - cost
 			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
-				cost = c
+				accept(ta, tb, c)
 				if cost < res.BestCost {
 					res.BestCost = cost
 					copy(res.Best, cur)
 					res.Improvements++
 					improvedThisStep = true
 				}
-			} else {
-				mapping.SwapTiles(cur, occ, ta, tb) // reject: undo
 			}
 		}
 		if improvedThisStep {
@@ -252,6 +372,11 @@ func (a *Annealer) Run() (*Result, error) {
 			stalled++
 		}
 		temp *= alpha
+	}
+	if useDelta {
+		if err := repriceBest(a.Problem.Obj, res); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }

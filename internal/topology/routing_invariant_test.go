@@ -1,0 +1,52 @@
+package topology
+
+import "testing"
+
+// TestRouteKSymmetric pins the invariant the incremental CWM evaluator
+// (internal/core/cwm_delta.go) builds on: for the minimal XY/YX routings
+// on both mesh and torus, the router count K of a route is independent of
+// its direction and equals MinHops+1. The delta path prices an edge's
+// route from whichever endpoint moved, so a direction-dependent K would
+// silently break its bit-identity with full recomputes.
+func TestRouteKSymmetric(t *testing.T) {
+	for _, tc := range []struct {
+		w, h  int
+		torus bool
+	}{
+		{2, 2, false}, {3, 3, false}, {4, 3, false}, {8, 8, false}, {5, 2, false},
+		{3, 3, true}, {4, 4, true}, {5, 3, true},
+	} {
+		var m *Mesh
+		var err error
+		if tc.torus {
+			m, err = NewTorus(tc.w, tc.h)
+		} else {
+			m, err = NewMesh(tc.w, tc.h)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range []RoutingAlgo{RouteXY, RouteYX} {
+			for a := 0; a < m.NumTiles(); a++ {
+				for b := 0; b < m.NumTiles(); b++ {
+					fwd, err := m.Route(algo, TileID(a), TileID(b))
+					if err != nil {
+						t.Fatal(err)
+					}
+					rev, err := m.Route(algo, TileID(b), TileID(a))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if fwd.K() != rev.K() {
+						t.Fatalf("%dx%d torus=%v %v: K(%d,%d)=%d but K(%d,%d)=%d",
+							tc.w, tc.h, tc.torus, algo, a, b, fwd.K(), b, a, rev.K())
+					}
+					if want := m.MinHops(TileID(a), TileID(b)) + 1; fwd.K() != want {
+						t.Fatalf("%dx%d torus=%v %v: K(%d,%d)=%d, MinHops+1=%d (routing not minimal?)",
+							tc.w, tc.h, tc.torus, algo, a, b, fwd.K(), want)
+					}
+				}
+			}
+		}
+	}
+}
