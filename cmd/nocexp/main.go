@@ -8,6 +8,7 @@
 //	nocexp -exp esvssa                  # ES certifies SA on small NoCs
 //	nocexp -exp cputime                 # CWM vs CDCM evaluation cost
 //	nocexp -exp vsrandom                # guided mapping vs random ([4])
+//	nocexp -exp dim3 -depth 4           # 2D vs 3D: 4x4x1 vs 2x2x4, TSV-priced
 //	nocexp -exp all
 //
 // Every run is deterministic for a given -seed/-seeds: -workers only
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: table1, table2, fig1..fig5, esvssa, cputime, vsrandom, sensitivity, buffers, ablation, all")
+		which    = flag.String("exp", "all", "experiment: table1, table2, fig1..fig5, esvssa, cputime, vsrandom, sensitivity, buffers, ablation, dim3, all")
 		seeds    = flag.Int("seeds", 1, "number of search seeds to average over (table2)")
 		steps    = flag.Int("steps", 0, "SA temperature steps (0 = default)")
 		moves    = flag.Int("moves", 0, "SA moves per temperature (0 = default)")
@@ -40,16 +41,18 @@ func main() {
 		samples  = flag.Int("samples", 100, "random-mapping samples (vsrandom)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		workers  = flag.Int("workers", runtime.NumCPU(), "parallel worker goroutines (results are seed-deterministic for any value)")
+		depth    = flag.Int("depth", 4, "Z depth of the 3D shape in the dim3 experiment (2x2xD vs 4x4x1)")
+		topo     = flag.String("topology", "mesh", "grid family for the dim3 experiment: mesh or torus")
 	)
 	flag.Parse()
 
-	if err := run(*which, *seeds, *steps, *moves, *maxTiles, *esMax, *samples, *seed, *workers); err != nil {
+	if err := run(*which, *seeds, *steps, *moves, *maxTiles, *depth, *topo, *esMax, *samples, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "nocexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, seeds, steps, moves, maxTiles int, esMax int64, samples int, seed int64, workers int) error {
+func run(which string, seeds, steps, moves, maxTiles, depth int, topo string, esMax int64, samples int, seed int64, workers int) error {
 	suite, err := exp.Table1Suite()
 	if err != nil {
 		return err
@@ -152,6 +155,29 @@ func run(which string, seeds, steps, moves, maxTiles int, esMax int64, samples i
 			return err
 		}
 		fmt.Println(exp.RenderAblations(outs))
+	}
+	if which == "dim3" { // analysis extra: not part of "all"
+		torus := false
+		switch topo {
+		case "mesh":
+		case "torus":
+			torus = true
+		default:
+			return fmt.Errorf("unknown topology %q (want mesh or torus)", topo)
+		}
+		if depth <= 0 {
+			depth = 4
+		}
+		g, err := exp.Dim3Workload(4 * depth) // fill both 4·depth-tile shapes
+		if err != nil {
+			return err
+		}
+		outs, err := exp.RunDim3(g, exp.DefaultDim3Shapes(depth, torus), noc.Config{},
+			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves, Workers: workers})
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderDim3(outs))
 	}
 	if which == "sensitivity" { // analysis extra: not part of "all"
 		var small []exp.Workload

@@ -6,6 +6,7 @@
 //
 //	nocgen -cores 9 -packets 51 -bits 23244 -seed 7 > bench.json
 //	nocgen -mode phases -cores 16 -packets 120 -bits 500000 > bsp.json
+//	nocgen -mesh 2x2x4 -packets 64 -bits 24000 > app3d.json   # sized to fill a 3D grid
 //	nocgen -embedded fft8 > fft8.json
 package main
 
@@ -17,11 +18,14 @@ import (
 	"repro/internal/appgen"
 	"repro/internal/apps"
 	"repro/internal/model"
+	"repro/internal/topology"
 )
 
 func main() {
 	var (
 		cores    = flag.Int("cores", 8, "number of IP cores")
+		mesh     = flag.String("mesh", "", "size the benchmark for a WxH or WxHxD grid: overrides -cores with W*H*D")
+		depth    = flag.Int("depth", 1, "extra Z depth for -mesh sizing when the spec is WxH (ignored for WxHxD)")
 		packets  = flag.Int("packets", 32, "number of CDCG packets")
 		bits     = flag.Int64("bits", 10000, "total communicated bits")
 		seed     = flag.Int64("seed", 1, "generator seed")
@@ -35,7 +39,16 @@ func main() {
 	)
 	flag.Parse()
 
-	g, err := build(*embedded, *mode, *name, *cores, *packets, *chains, *classes, *bits, *seed, *hotspot)
+	nc := *cores
+	if *mesh != "" {
+		tiles, err := meshTiles(*mesh, *depth)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocgen:", err)
+			os.Exit(1)
+		}
+		nc = tiles
+	}
+	g, err := build(*embedded, *mode, *name, nc, *packets, *chains, *classes, *bits, *seed, *hotspot)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nocgen:", err)
 		os.Exit(1)
@@ -52,6 +65,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nocgen:", err)
 		os.Exit(1)
 	}
+}
+
+// meshTiles parses a WxH or WxHxD sizing spec and returns its tile count,
+// stacking a planar spec by depth (an explicit WxHxD spec wins over
+// -depth).
+func meshTiles(spec string, depth int) (int, error) {
+	w, h, d, err := topology.ParseGridSpec(spec)
+	if err != nil {
+		return 0, err
+	}
+	if d == 1 && depth > 1 {
+		d = depth
+	}
+	return w * h * d, nil
 }
 
 func build(embedded, mode, name string, cores, packets, chains, classes int,

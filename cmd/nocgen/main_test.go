@@ -57,3 +57,31 @@ func TestBuildErrors(t *testing.T) {
 		t.Error("single-core benchmark accepted")
 	}
 }
+
+func TestMeshTiles(t *testing.T) {
+	cases := []struct {
+		spec  string
+		depth int
+		want  int
+	}{
+		{"3x2", 1, 6},
+		{"3x2", 0, 6},
+		{"2x2x4", 1, 16},
+		{"2x2x4", 9, 16}, // depth ignored for explicit WxHxD
+		{"2x2", 4, 16},
+	}
+	for _, tc := range cases {
+		got, err := meshTiles(tc.spec, tc.depth)
+		if err != nil {
+			t.Fatalf("%q depth %d: %v", tc.spec, tc.depth, err)
+		}
+		if got != tc.want {
+			t.Errorf("%q depth %d = %d tiles, want %d", tc.spec, tc.depth, got, tc.want)
+		}
+	}
+	for _, spec := range []string{"3", "ax2", "2x0x2", "2x2x2x2", "2x2x4.5", "4x4junk"} {
+		if _, err := meshTiles(spec, 1); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

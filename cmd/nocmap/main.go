@@ -1,12 +1,18 @@
-// Command nocmap maps one application onto a mesh NoC.
+// Command nocmap maps one application onto a mesh or torus NoC, planar
+// or 3-D.
 //
 // The application is a CDCG in JSON (see internal/model; cmd/nocgen
-// produces them), or the built-in paper example with -demo. Example:
+// produces them), or the built-in paper example with -demo. Examples:
 //
 //	nocmap -app app.json -mesh 3x3 -model cdcm -method sa -seed 7 -gantt
+//	nocmap -app app.json -mesh 2x2x4 -routing xyz -model cdcm
 //
-// explores a 3x3 mesh under the CDCM objective with simulated annealing
-// and prints the winning mapping, its metrics and a timing diagram.
+// The first explores a 3x3 mesh under the CDCM objective with simulated
+// annealing and prints the winning mapping, its metrics and a timing
+// diagram; the second explores a 2x2x4 stacked mesh with dimension-ordered
+// XYZ routing (vertical TSV links priced by the 3-D energy/latency
+// profile). -depth D stacks a planar -mesh into D layers; -topology torus
+// wraps every dimension.
 //
 // Explorations under -model cwm price candidate swaps incrementally
 // (search.DeltaObjective: O(deg) per proposed move instead of re-walking
@@ -34,12 +40,14 @@ func main() {
 	var (
 		appPath  = flag.String("app", "", "CDCG JSON file (or use -demo)")
 		demo     = flag.Bool("demo", false, "use the paper's Figure-1 example application")
-		meshSpec = flag.String("mesh", "", "mesh dimensions WxH (default: smallest square fitting the cores)")
+		meshSpec = flag.String("mesh", "", "grid dimensions WxH or WxHxD (default: smallest square fitting the cores)")
+		depth    = flag.Int("depth", 0, "stack a WxH -mesh into D layers (alternative to the WxHxD spec; 0 = 1 layer)")
+		topo     = flag.String("topology", "mesh", "grid family: mesh or torus")
 		modelSel = flag.String("model", "cdcm", "mapping model: cwm or cdcm")
 		method   = flag.String("method", "sa", "search method: sa, es, random, hill, tabu")
 		seed     = flag.Int64("seed", 1, "search seed")
 		techSel  = flag.String("tech", "0.07um", "technology profile: 0.35um, 0.07um or paper")
-		routing  = flag.String("routing", "xy", "routing algorithm: xy or yx")
+		routing  = flag.String("routing", "xy", "routing algorithm: xy, yx, xyz or zyx")
 		gantt    = flag.Bool("gantt", false, "print the timing diagram of the winning mapping")
 		annotate = flag.Bool("annotate", false, "print per-resource occupancy annotations")
 		flits    = flag.Int("flitbits", 1, "link width in bits per flit")
@@ -47,14 +55,14 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "parallel worker goroutines (results are seed-deterministic for any value)")
 	)
 	flag.Parse()
-	if err := run(*appPath, *demo, *meshSpec, *modelSel, *method, *techSel, *routing,
+	if err := run(*appPath, *demo, *meshSpec, *topo, *depth, *modelSel, *method, *techSel, *routing,
 		*seed, *gantt, *annotate, *flits, *restarts, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "nocmap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(appPath string, demo bool, meshSpec, modelSel, method, techSel, routing string,
+func run(appPath string, demo bool, meshSpec, topo string, depth int, modelSel, method, techSel, routing string,
 	seed int64, gantt, annotate bool, flits, restarts, workers int) error {
 
 	var g *model.CDCG
@@ -81,7 +89,7 @@ func run(appPath string, demo bool, meshSpec, modelSel, method, techSel, routing
 		return fmt.Errorf("need -app FILE or -demo")
 	}
 
-	mesh, err := parseMesh(meshSpec, g.NumCores())
+	mesh, err := parseMesh(meshSpec, topo, depth, g.NumCores())
 	if err != nil {
 		return err
 	}
@@ -120,8 +128,12 @@ func run(appPath string, demo bool, meshSpec, modelSel, method, techSel, routing
 
 	fmt.Printf("application: %s (%d cores, %d packets, %d bits)\n",
 		appName(g), g.NumCores(), g.NumPackets(), g.TotalBits())
-	fmt.Printf("NoC: %dx%d mesh, %s routing, %d-bit flits; model %s, search %s (seed %d)\n",
-		mesh.W(), mesh.H(), cfg.Routing, cfg.FlitBits, strategy, m, seed)
+	dims := fmt.Sprintf("%dx%d", mesh.W(), mesh.H())
+	if mesh.D() > 1 {
+		dims = fmt.Sprintf("%dx%dx%d", mesh.W(), mesh.H(), mesh.D())
+	}
+	fmt.Printf("NoC: %s %s, %s routing, %d-bit flits; model %s, search %s (seed %d)\n",
+		dims, mesh.Kind(), cfg.Routing, cfg.FlitBits, strategy, m, seed)
 	fmt.Printf("evaluations: %d, best cost: %.6g pJ\n", res.Search.Evaluations, res.Search.BestCost*1e12)
 	fmt.Println("mapping:")
 	fmt.Print(trace.MappingGrid(mesh, g.CoreName, res.Best))
@@ -161,37 +173,59 @@ func appName(g *model.CDCG) string {
 	return "(unnamed)"
 }
 
-// parseMesh parses "WxH", or picks the smallest near-square mesh fitting
-// the cores when spec is empty.
-func parseMesh(spec string, cores int) (*topology.Mesh, error) {
+// parseMesh parses "WxH" or "WxHxD" (optionally stacked deeper by the
+// -depth flag and wrapped by -topology torus), or picks the smallest
+// grid fitting the cores when spec is empty: near-square layers, spread
+// over -depth layers when given (so 16 cores with -depth 4 auto-size to
+// 2x2x4, not a 4x4 layer replicated 4 times).
+func parseMesh(spec, topo string, depth, cores int) (*topology.Mesh, error) {
+	torus := false
+	switch topo {
+	case "", "mesh":
+	case "torus":
+		torus = true
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want mesh or torus)", topo)
+	}
+	var w, h, d int
 	if spec == "" {
-		w := 1
-		for w*w < cores {
+		d = 1
+		if depth > 0 {
+			d = depth
+		}
+		perLayer := (cores + d - 1) / d
+		w = 1
+		for w*w < perLayer {
 			w++
 		}
-		h := w
-		for (h-1)*w >= cores {
+		h = w
+		for (h-1)*w >= perLayer {
 			h--
 		}
-		return topology.NewMesh(w, h)
+	} else {
+		var err error
+		if w, h, d, err = topology.ParseGridSpec(spec); err != nil {
+			return nil, err
+		}
+		if depth > 0 {
+			if d > 1 && depth != d {
+				return nil, fmt.Errorf("-depth %d conflicts with mesh spec %q", depth, spec)
+			}
+			d = depth
+		}
 	}
-	parts := strings.SplitN(strings.ToLower(spec), "x", 2)
-	if len(parts) != 2 {
-		return nil, fmt.Errorf("mesh spec %q is not WxH", spec)
+	var mesh *topology.Mesh
+	var err error
+	if torus {
+		mesh, err = topology.NewTorus3D(w, h, d)
+	} else {
+		mesh, err = topology.NewMesh3D(w, h, d)
 	}
-	var w, h int
-	if _, err := fmt.Sscanf(parts[0], "%d", &w); err != nil {
-		return nil, fmt.Errorf("mesh width %q: %w", parts[0], err)
-	}
-	if _, err := fmt.Sscanf(parts[1], "%d", &h); err != nil {
-		return nil, fmt.Errorf("mesh height %q: %w", parts[1], err)
-	}
-	mesh, err := topology.NewMesh(w, h)
 	if err != nil {
 		return nil, err
 	}
 	if cores > mesh.NumTiles() {
-		return nil, fmt.Errorf("%d cores do not fit on a %s mesh", cores, spec)
+		return nil, fmt.Errorf("%d cores do not fit on %d tiles (%s)", cores, mesh.NumTiles(), spec)
 	}
 	return mesh, nil
 }

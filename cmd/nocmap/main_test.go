@@ -10,7 +10,7 @@ import (
 )
 
 func TestParseMeshExplicit(t *testing.T) {
-	m, err := parseMesh("3x2", 5)
+	m, err := parseMesh("3x2", "mesh", 0, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +28,7 @@ func TestParseMeshAuto(t *testing.T) {
 		{1, 1, 1},
 	}
 	for _, tc := range cases {
-		m, err := parseMesh("", tc.cores)
+		m, err := parseMesh("", "mesh", 0, tc.cores)
 		if err != nil {
 			t.Fatalf("cores %d: %v", tc.cores, err)
 		}
@@ -41,24 +41,82 @@ func TestParseMeshAuto(t *testing.T) {
 	}
 }
 
+func TestParseMesh3D(t *testing.T) {
+	m, err := parseMesh("2x3x4", "mesh", 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.W() != 2 || m.H() != 3 || m.D() != 4 {
+		t.Fatalf("mesh = %dx%dx%d", m.W(), m.H(), m.D())
+	}
+	// -depth stacks a planar spec...
+	m, err = parseMesh("2x2", "torus", 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.D() != 4 || m.Kind().String() != "torus" {
+		t.Fatalf("mesh = %dx%dx%d %s", m.W(), m.H(), m.D(), m.Kind())
+	}
+	// ...and must agree with an explicit WxHxD spec.
+	if _, err := parseMesh("2x2x2", "mesh", 4, 5); err == nil {
+		t.Fatal("conflicting -depth accepted")
+	}
+	if _, err := parseMesh("2x2", "klein-bottle", 0, 4); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestRunDemo3DEndToEnd(t *testing.T) {
+	// The paper demo on a 2x1x2 stacked mesh with XYZ routing, plus
+	// diagrams, exercises the TSV path through the whole CLI.
+	if err := run("", true, "2x1x2", "mesh", 0, "cdcm", "es", "0.07um", "xyz", 1, true, true, 1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", true, "2x2", "torus", 2, "cwm", "sa", "0.07um", "zyx", 1, false, false, 1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMeshAutoWithDepth(t *testing.T) {
+	// Auto-sizing spreads the cores over the requested layers instead of
+	// replicating a full planar grid per layer: 16 cores at depth 4 fit a
+	// 2x2x4 (16 tiles), not a 4x4x4.
+	m, err := parseMesh("", "mesh", 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.W() != 2 || m.H() != 2 || m.D() != 4 {
+		t.Fatalf("mesh = %dx%dx%d, want 2x2x4", m.W(), m.H(), m.D())
+	}
+	// Non-dividing core counts still fit: 10 cores over 4 layers needs
+	// 3 per layer -> 2x2 layers, 16 tiles.
+	m, err = parseMesh("", "mesh", 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTiles() < 10 || m.D() != 4 {
+		t.Fatalf("mesh = %dx%dx%d does not fit 10 cores over 4 layers", m.W(), m.H(), m.D())
+	}
+}
+
 func TestParseMeshErrors(t *testing.T) {
-	for _, spec := range []string{"3", "ax2", "3xb", "0x4"} {
-		if _, err := parseMesh(spec, 2); err == nil {
+	for _, spec := range []string{"3", "ax2", "3xb", "0x4", "4x4junk", "2x2x4.5", " 2x2", "2x2x2x2"} {
+		if _, err := parseMesh(spec, "mesh", 0, 2); err == nil {
 			t.Errorf("spec %q accepted", spec)
 		}
 	}
-	if _, err := parseMesh("2x2", 5); err == nil {
+	if _, err := parseMesh("2x2", "mesh", 0, 5); err == nil {
 		t.Error("oversubscribed mesh accepted")
 	}
 }
 
 func TestRunDemoEndToEnd(t *testing.T) {
 	// Full CLI path: demo app, ES search, paper tech, with diagrams.
-	if err := run("", true, "2x2", "cdcm", "es", "paper", "xy", 1, true, true, 1, 2, 2); err != nil {
+	if err := run("", true, "2x2", "mesh", 0, "cdcm", "es", "paper", "xy", 1, true, true, 1, 2, 2); err != nil {
 		t.Fatal(err)
 	}
 	// CWM path too.
-	if err := run("", true, "2x2", "cwm", "sa", "0.07um", "yx", 1, false, false, 16, 2, 2); err != nil {
+	if err := run("", true, "2x2", "mesh", 0, "cwm", "sa", "0.07um", "yx", 1, false, false, 16, 2, 2); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -70,7 +128,7 @@ func TestRunFromTextAndJSONFiles(t *testing.T) {
 		"name t\ncores a b\npacket p1 a b compute=2 bits=9\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(text, false, "2x1", "cdcm", "es", "paper", "xy", 1, false, false, 1, 2, 2); err != nil {
+	if err := run(text, false, "2x1", "mesh", 0, "cdcm", "es", "paper", "xy", 1, false, false, 1, 2, 2); err != nil {
 		t.Fatalf("text app: %v", err)
 	}
 	jsonPath := filepath.Join(dir, "app.json")
@@ -81,7 +139,7 @@ func TestRunFromTextAndJSONFiles(t *testing.T) {
 	if err := os.WriteFile(jsonPath, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(jsonPath, false, "2x2", "cwm", "sa", "0.35um", "xy", 1, false, false, 1, 2, 2); err != nil {
+	if err := run(jsonPath, false, "2x2", "mesh", 0, "cwm", "sa", "0.35um", "xy", 1, false, false, 1, 2, 2); err != nil {
 		t.Fatalf("json app: %v", err)
 	}
 	// A JSON payload under a text extension must be rejected cleanly.
@@ -89,7 +147,7 @@ func TestRunFromTextAndJSONFiles(t *testing.T) {
 	if err := os.WriteFile(badPath, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(badPath, false, "2x2", "cdcm", "sa", "paper", "xy", 1, false, false, 1, 2, 2); err == nil {
+	if err := run(badPath, false, "2x2", "mesh", 0, "cdcm", "sa", "paper", "xy", 1, false, false, 1, 2, 2); err == nil {
 		t.Fatal("JSON-in-text accepted")
 	}
 }
@@ -99,13 +157,13 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		name string
 		err  func() error
 	}{
-		{"no app", func() error { return run("", false, "", "cdcm", "sa", "paper", "xy", 1, false, false, 1, 2, 2) }},
-		{"bad model", func() error { return run("", true, "", "xxx", "sa", "paper", "xy", 1, false, false, 1, 2, 2) }},
-		{"bad method", func() error { return run("", true, "", "cdcm", "xxx", "paper", "xy", 1, false, false, 1, 2, 2) }},
-		{"bad tech", func() error { return run("", true, "", "cdcm", "sa", "90nm", "xy", 1, false, false, 1, 2, 2) }},
-		{"bad routing", func() error { return run("", true, "", "cdcm", "sa", "paper", "zz", 1, false, false, 1, 2, 2) }},
+		{"no app", func() error { return run("", false, "", "mesh", 0, "cdcm", "sa", "paper", "xy", 1, false, false, 1, 2, 2) }},
+		{"bad model", func() error { return run("", true, "", "mesh", 0, "xxx", "sa", "paper", "xy", 1, false, false, 1, 2, 2) }},
+		{"bad method", func() error { return run("", true, "", "mesh", 0, "cdcm", "xxx", "paper", "xy", 1, false, false, 1, 2, 2) }},
+		{"bad tech", func() error { return run("", true, "", "mesh", 0, "cdcm", "sa", "90nm", "xy", 1, false, false, 1, 2, 2) }},
+		{"bad routing", func() error { return run("", true, "", "mesh", 0, "cdcm", "sa", "paper", "zz", 1, false, false, 1, 2, 2) }},
 		{"missing file", func() error {
-			return run("/nonexistent.json", false, "", "cdcm", "sa", "paper", "xy", 1, false, false, 1, 2, 2)
+			return run("/nonexistent.json", false, "", "mesh", 0, "cdcm", "sa", "paper", "xy", 1, false, false, 1, 2, 2)
 		}},
 	}
 	for _, tc := range cases {

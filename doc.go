@@ -31,11 +31,24 @@
 // keeps the full simulator path: contention is global, so no cheap swap
 // delta exists.
 //
+// Topologies cover planar and stacked grids: W×H meshes and tori are the
+// D=1 case of W×H×D (topology.NewMesh3D / NewTorus3D), with vertical
+// through-silicon-via (TSV) links between layers, dimension-ordered
+// XY/YX/XYZ/ZYX routing, a TSV per-bit energy coefficient
+// (energy.Tech.ETSVbit) and a TSV per-flit latency
+// (noc.Config.TSVLinkCycles). Depth-1 grids are bit-identical to the
+// original 2-D model end to end; the K-symmetry invariant the delta
+// evaluator needs holds across the whole family, so incremental
+// evaluation stays exact on 3-D instances. The dim3 experiment
+// (internal/exp, `nocexp -exp dim3`) compares the same application on a
+// planar grid and an equal-tile-count 3-D stack.
+//
 // Layout:
 //
 //	internal/graph      DAG utilities
 //	internal/model      CWG and CDCG application models (Definitions 1-2)
-//	internal/topology   mesh/torus topology and XY/YX routing (Definition 3)
+//	internal/topology   2-D/3-D mesh/torus topology and dimension-ordered
+//	                    XY/YX/XYZ/ZYX routing (Definition 3 + TSV extension)
 //	internal/noc        NoC architecture configuration (tr, tl, λ, flits)
 //	internal/wormhole   timed, contention-aware wormhole simulator
 //	internal/energy     bit-energy model and technology profiles (eqs. 1-10)

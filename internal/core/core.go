@@ -43,6 +43,16 @@ type CWM struct {
 	kCache   []int16 // routers per (srcTile, dstTile) pair, lazily filled
 	numTiles int     // cached Mesh.NumTiles(), the kCache stride
 
+	// flat is true on depth-1 grids, which have no vertical links: every
+	// vertical-traffic code path below is skipped, keeping the 2-D hot
+	// loops (and their results) exactly as they were before the 3-D
+	// extension. vCache mirrors kCache with the vertical (TSV) hop count
+	// of each tile pair and is nil when flat; it is filled by the same
+	// cache-miss path as kCache, so a non-zero kCache entry guarantees a
+	// valid vCache entry.
+	flat   bool
+	vCache []int16
+
 	// totalBits is Σw over all CWG edges. It links the two traffic
 	// aggregates — Σ w·(K−1) = Σ w·K − Σw for every mapping — so Cost and
 	// the incremental path only fold router-bits and derive link-bits.
@@ -66,11 +76,15 @@ type CWM struct {
 	// Keeping the aggregate in exact integer arithmetic is what makes
 	// incremental evaluation bit-identical to a full recompute — swap
 	// deltas are integer updates, so equal-cost mappings tie exactly on
-	// both paths.
+	// both paths. On 3-D grids edgeV/tsvBits track the vertical (TSV)
+	// traffic aggregate Σ w·V the same way (V = vertical hops of the
+	// edge's route); both are nil/zero when flat.
 	bound      mapping.Mapping
 	boundOcc   []model.CoreID
 	edgeK      []int16
+	edgeV      []int16
 	routerBits int64
+	tsvBits    int64
 }
 
 // NewCWM validates the inputs and builds the evaluator.
@@ -95,12 +109,17 @@ func NewCWM(mesh *topology.Mesh, cfg noc.Config, tech energy.Tech, g *model.CWG)
 		adj[e.Src].edges = append(adj[e.Src].edges, adjEdge{nbr: int32(e.Dst), edge: int32(i), bits: e.Bits})
 		adj[e.Dst].edges = append(adj[e.Dst].edges, adjEdge{nbr: int32(e.Src), edge: int32(i), bits: e.Bits})
 	}
-	return &CWM{Mesh: mesh, Cfg: cfg, Tech: tech, G: g,
+	c := &CWM{Mesh: mesh, Cfg: cfg, Tech: tech, G: g,
 		kCache:    make([]int16, mesh.NumTiles()*mesh.NumTiles()),
 		numTiles:  mesh.NumTiles(),
+		flat:      mesh.D() == 1,
 		totalBits: g.TotalBits(),
 		coreBits:  2 * g.TotalBits(),
-		adj:       adj}, nil
+		adj:       adj}
+	if !c.flat {
+		c.vCache = make([]int16, mesh.NumTiles()*mesh.NumTiles())
+	}
+	return c, nil
 }
 
 // routers returns K for a tile pair, caching the route length.
@@ -111,21 +130,27 @@ func (c *CWM) routers(src, dst topology.TileID) (int, error) {
 	return c.routersSlow(src, dst)
 }
 
-// routersSlow computes and caches K on a cache miss; kept out of routers
-// so the hot-path hit check inlines into the evaluation loops.
+// routersSlow computes and caches K (and, on 3-D grids, the vertical hop
+// count) on a cache miss; kept out of routers so the hot-path hit check
+// inlines into the evaluation loops.
 func (c *CWM) routersSlow(src, dst topology.TileID) (int, error) {
 	r, err := c.Mesh.Route(c.Cfg.Routing, src, dst)
 	if err != nil {
 		return 0, err
 	}
-	c.kCache[int(src)*c.numTiles+int(dst)] = int16(r.K())
+	idx := int(src)*c.numTiles + int(dst)
+	c.kCache[idx] = int16(r.K())
+	if !c.flat {
+		c.vCache[idx] = int16(c.Mesh.VerticalHops(src, dst))
+	}
 	return r.K(), nil
 }
 
 // Cost implements search.Objective: EDyNoC in joules. The per-edge sum
 // Σ w_ab·EBit(K) is folded as exact integer traffic aggregates — Σ w·K
-// router-bits and Σ w·(K−1) link-bits — and priced with one call to
-// Tech.DynamicFromTraffic, the same formula the CDCM simulator path uses
+// router-bits, Σ w·(K−1) link-bits and, on 3-D grids, Σ w·V vertical
+// (TSV) bits — and priced with one call to Tech.DynamicFromTraffic3D,
+// the same formula the CDCM simulator path uses
 // (equations (3)/(4) agree on dynamic energy by construction). Integer
 // folding means the value is independent of edge order, and incremental
 // swap deltas (cwm_delta.go) reproduce it bit-for-bit.
@@ -140,15 +165,20 @@ func (c *CWM) Cost(mp mapping.Mapping) (float64, error) {
 	if len(mp) != c.G.NumCores() {
 		return 0, fmt.Errorf("core: mapping covers %d cores, CWG has %d", len(mp), c.G.NumCores())
 	}
-	var rb int64
+	var rb, vb int64
 	for _, e := range c.G.Edges {
 		k, err := c.routers(mp[e.Src], mp[e.Dst])
 		if err != nil {
 			return 0, err
 		}
 		rb += e.Bits * int64(k)
+		if !c.flat {
+			// routers filled the pair's cache line, so the vertical hop
+			// count is valid here.
+			vb += e.Bits * int64(c.vCache[int(mp[e.Src])*c.numTiles+int(mp[e.Dst])])
+		}
 	}
-	return c.Tech.DynamicFromTraffic(rb, rb-c.totalBits, c.coreBits), nil
+	return c.Tech.DynamicFromTraffic3D(rb, rb-c.totalBits, vb, c.coreBits), nil
 }
 
 // Traffic returns the per-resource bit aggregates of a mapping — the cost
@@ -194,6 +224,10 @@ type Metrics struct {
 	Energy energy.Breakdown
 	// ContentionCycles is the total packet stall time.
 	ContentionCycles int64
+	// TSVBits is the bit volume that crossed vertical (TSV) links — zero
+	// on depth-1 grids. It reports how much of the dynamic energy the
+	// ETSVbit coefficient priced.
+	TSVBits int64
 }
 
 // Total returns ENoC in joules.
@@ -250,13 +284,14 @@ func (c *CDCM) price(res *wormhole.Result, tech energy.Tech) Metrics {
 	for _, b := range res.LinkBits {
 		lb += b
 	}
-	dyn := tech.DynamicFromTraffic(rb, lb, res.CoreBits)
+	dyn := tech.DynamicFromTraffic3D(rb, lb, res.TSVBits, res.CoreBits)
 	st := tech.StaticEnergy(c.sim.Mesh.NumTiles(), c.sim.Cfg.CyclesToSeconds(res.ExecCycles))
 	return Metrics{
 		ExecCycles:       res.ExecCycles,
 		ExecNS:           c.sim.Cfg.CyclesToNS(res.ExecCycles),
 		Energy:           energy.Breakdown{Dynamic: dyn, Static: st},
 		ContentionCycles: res.TotalContention,
+		TSVBits:          res.TSVBits,
 	}
 }
 

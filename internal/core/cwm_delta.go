@@ -30,10 +30,13 @@ import (
 //
 // The hot loop prices the moved core's edges against one kCache row: the
 // moving core's new tile is fixed across its whole edge list, and K is
-// direction-symmetric for the minimal XY/YX routings on both mesh and
-// torus (K = MinHops+1; TestRouteKSymmetric in internal/topology pins the
+// direction-symmetric for the minimal dimension-ordered routings
+// (XY/YX/XYZ/ZYX) on mesh and torus in 2-D and 3-D alike (K = MinHops+1;
+// TestRouteKSymmetric and the property tests in internal/topology pin the
 // invariant), so K(newTile, otherTile) equals the K a full walk would
-// route for the edge regardless of the edge's direction.
+// route for the edge regardless of the edge's direction. The vertical
+// (TSV) hop count V shares the symmetry — it is a pure Z distance — so
+// the 3-D aggregate Σ w·V is maintained the same way.
 //
 // The bound state makes a CWM performing incremental evaluation stateful
 // and not safe for concurrent use; parallel engines build one instance
@@ -72,6 +75,9 @@ func (c *CWM) Reset(mp mapping.Mapping) (float64, error) {
 		c.bound = mp.Clone()
 		c.boundOcc = mp.Occupants(c.numTiles)
 		c.edgeK = make([]int16, len(c.G.Edges))
+		if !c.flat {
+			c.edgeV = make([]int16, len(c.G.Edges))
+		}
 	} else {
 		copy(c.bound, mp)
 		for i := range c.boundOcc {
@@ -82,6 +88,7 @@ func (c *CWM) Reset(mp mapping.Mapping) (float64, error) {
 		}
 	}
 	c.routerBits = 0
+	c.tsvBits = 0
 	for i, e := range c.G.Edges {
 		k, err := c.routers(mp[e.Src], mp[e.Dst])
 		if err != nil {
@@ -89,8 +96,13 @@ func (c *CWM) Reset(mp mapping.Mapping) (float64, error) {
 		}
 		c.edgeK[i] = int16(k)
 		c.routerBits += e.Bits * int64(k)
+		if !c.flat {
+			v := c.vCache[int(mp[e.Src])*c.numTiles+int(mp[e.Dst])]
+			c.edgeV[i] = v
+			c.tsvBits += e.Bits * int64(v)
+		}
 	}
-	return c.Tech.DynamicFromTraffic(c.routerBits, c.routerBits-c.totalBits, c.coreBits), nil
+	return c.Tech.DynamicFromTraffic3D(c.routerBits, c.routerBits-c.totalBits, c.tsvBits, c.coreBits), nil
 }
 
 // SwapDelta implements search.DeltaObjective: the EDyNoC change of
@@ -109,7 +121,7 @@ func (c *CWM) SwapDelta(occ []model.CoreID, ta, tb topology.TileID) (float64, er
 		return 0, errors.New("core: SwapDelta before Reset")
 	}
 	ca, cb := occ[ta], occ[tb]
-	var dR int64
+	var dR, dV int64
 	bound := c.bound
 	edgeK := c.edgeK
 	// Two passes: ca's incident edges, then cb's. Edges between ca and cb
@@ -125,6 +137,12 @@ func (c *CWM) SwapDelta(occ []model.CoreID, ta, tb topology.TileID) (float64, er
 		}
 		skipI := int32(skip)
 		row := c.kCache[int(nt)*c.numTiles : (int(nt)+1)*c.numTiles]
+		// vrow stays nil on depth-1 grids: the vertical aggregate then
+		// costs the 2-D hot loop nothing but one predictable branch.
+		var vrow []int16
+		if !c.flat {
+			vrow = c.vCache[int(nt)*c.numTiles : (int(nt)+1)*c.numTiles]
+		}
 		for _, ae := range c.adj[x].edges {
 			if ae.nbr == skipI {
 				continue
@@ -146,16 +164,21 @@ func (c *CWM) SwapDelta(occ []model.CoreID, ta, tb topology.TileID) (float64, er
 			// Unconditional multiply-add: a dk==0 guard would mispredict
 			// on real swap mixes and cost more than the multiply.
 			dR += ae.bits * (int64(k) - int64(edgeK[ae.edge]))
+			if vrow != nil {
+				// routersSlow fills both caches, so vrow[ot] is valid
+				// whenever row[ot] is.
+				dV += ae.bits * (int64(vrow[ot]) - int64(c.edgeV[ae.edge]))
+			}
 		}
 	}
-	if dR == 0 {
-		// Unchanged aggregate means the full path would price the swapped
+	if dR == 0 && dV == 0 {
+		// Unchanged aggregates mean the full path would price the swapped
 		// mapping at a bit-identical cost, so the delta is an exact zero.
 		return 0, nil
 	}
-	rb := c.routerBits
-	return c.Tech.DynamicFromTraffic(rb+dR, rb+dR-c.totalBits, c.coreBits) -
-		c.Tech.DynamicFromTraffic(rb, rb-c.totalBits, c.coreBits), nil
+	rb, vb := c.routerBits, c.tsvBits
+	return c.Tech.DynamicFromTraffic3D(rb+dR, rb+dR-c.totalBits, vb+dV, c.coreBits) -
+		c.Tech.DynamicFromTraffic3D(rb, rb-c.totalBits, vb, c.coreBits), nil
 }
 
 // Commit implements search.DeltaObjective: it folds an accepted swap into
@@ -171,7 +194,7 @@ func (c *CWM) Commit(ta, tb topology.TileID) float64 {
 	mapping.SwapTiles(c.bound, c.boundOcc, ta, tb)
 	c.refreshEdges(ca, mapping.Unassigned)
 	c.refreshEdges(cb, ca)
-	return c.Tech.DynamicFromTraffic(c.routerBits, c.routerBits-c.totalBits, c.coreBits)
+	return c.Tech.DynamicFromTraffic3D(c.routerBits, c.routerBits-c.totalBits, c.tsvBits, c.coreBits)
 }
 
 // refreshEdges re-probes the edges incident to core x under the updated
@@ -184,6 +207,10 @@ func (c *CWM) refreshEdges(x, skip model.CoreID) {
 	}
 	nt := c.bound[x]
 	row := c.kCache[int(nt)*c.numTiles : (int(nt)+1)*c.numTiles]
+	var vrow []int16
+	if !c.flat {
+		vrow = c.vCache[int(nt)*c.numTiles : (int(nt)+1)*c.numTiles]
+	}
 	bound := c.bound
 	edgeK := c.edgeK
 	skipI := int32(skip)
@@ -204,5 +231,10 @@ func (c *CWM) refreshEdges(x, skip model.CoreID) {
 		}
 		c.routerBits += ae.bits * (int64(k) - int64(edgeK[ae.edge]))
 		edgeK[ae.edge] = k
+		if vrow != nil {
+			v := vrow[ot]
+			c.tsvBits += ae.bits * (int64(v) - int64(c.edgeV[ae.edge]))
+			c.edgeV[ae.edge] = v
+		}
 	}
 }

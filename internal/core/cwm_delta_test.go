@@ -17,8 +17,13 @@ import (
 
 // deltaInstance builds a seeded mesh + CWG pair sized for delta testing.
 func deltaInstance(t testing.TB, w, h, cores int) (*topology.Mesh, *model.CDCG) {
+	return deltaInstance3D(t, w, h, 1, cores)
+}
+
+// deltaInstance3D is deltaInstance over a stacked W×H×D mesh.
+func deltaInstance3D(t testing.TB, w, h, d, cores int) (*topology.Mesh, *model.CDCG) {
 	t.Helper()
-	mesh, err := topology.NewMesh(w, h)
+	mesh, err := topology.NewMesh3D(w, h, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,8 +106,10 @@ func TestCWMSwapDeltaBeforeResetErrors(t *testing.T) {
 // two full evaluations, committing roughly half the moves so the bound
 // baseline keeps moving.
 func TestCWMSwapDeltaMatchesFullRecompute(t *testing.T) {
-	for _, dims := range [][3]int{{4, 4, 8}, {8, 8, 16}} {
-		mesh, g := deltaInstance(t, dims[0], dims[1], dims[2])
+	// Planar and stacked instances alike: the 3-D rows exercise the
+	// vertical (TSV) traffic aggregate of the delta path.
+	for _, dims := range [][4]int{{4, 4, 1, 8}, {8, 8, 1, 16}, {2, 2, 2, 6}, {4, 4, 2, 20}} {
+		mesh, g := deltaInstance3D(t, dims[0], dims[1], dims[2], dims[3])
 		cwm := newTestCWM(t, mesh, g)
 		rng := rand.New(rand.NewSource(7))
 		mp, err := mapping.Random(rng, g.NumCores(), mesh.NumTiles())
@@ -158,13 +165,14 @@ func TestCWMSwapDeltaMatchesFullRecompute(t *testing.T) {
 }
 
 // TestEnginesDeltaVsFullEquivalence is the seeded equivalence matrix of
-// the issue: for SA, hill climbing and tabu search on 4x4 and 8x8 meshes,
-// the CWM delta path must return the same Best mapping, the same BestCost
-// and the same Evaluations count as the full-recompute path (obtained by
-// hiding the DeltaObjective interface behind an ObjectiveFunc).
+// the issue: for SA, hill climbing and tabu search on planar (4x4, 8x8)
+// and stacked (2x2x2, 4x4x2) meshes, the CWM delta path must return the
+// same Best mapping, the same BestCost and the same Evaluations count as
+// the full-recompute path (obtained by hiding the DeltaObjective
+// interface behind an ObjectiveFunc).
 func TestEnginesDeltaVsFullEquivalence(t *testing.T) {
-	for _, dims := range [][3]int{{4, 4, 8}, {8, 8, 16}} {
-		mesh, g := deltaInstance(t, dims[0], dims[1], dims[2])
+	for _, dims := range [][4]int{{4, 4, 1, 8}, {8, 8, 1, 16}, {2, 2, 2, 6}, {4, 4, 2, 16}} {
+		mesh, g := deltaInstance3D(t, dims[0], dims[1], dims[2], dims[3])
 		for _, seed := range []int64{1, 2, 3} {
 			for name, run := range map[string]func(p search.Problem) (*search.Result, error){
 				"sa": func(p search.Problem) (*search.Result, error) {

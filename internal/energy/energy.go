@@ -24,13 +24,31 @@ type Tech struct {
 	// link; the paper treats it as negligible for large tiles (its
 	// example sets it to zero).
 	ECbit float64
+	// ETSVbit is the dynamic energy one bit dissipates on a vertical
+	// (through-silicon-via) link of a 3-D topology — the EvBit analogue of
+	// the ELHbit/ELVbit split the paper collapses for square 2-D tiles.
+	// TSVs are far shorter than planar inter-tile wires, so profiles set
+	// it well below ELbit. 0 means "same as ELbit" (see TSVBit), so
+	// profiles predating the 3-D extension stay valid; the coefficient
+	// only enters pricing when vertical traffic exists, never on 2-D
+	// grids.
+	ETSVbit float64
 	// PSRouter is the static (leakage) power of one router.
 	PSRouter float64
 }
 
+// TSVBit returns the effective per-bit vertical-link energy: ETSVbit when
+// set, ELbit otherwise.
+func (t Tech) TSVBit() float64 {
+	if t.ETSVbit > 0 {
+		return t.ETSVbit
+	}
+	return t.ELbit
+}
+
 // Validate checks physical plausibility (non-negative coefficients).
 func (t Tech) Validate() error {
-	if t.ERbit < 0 || t.ELbit < 0 || t.ECbit < 0 || t.PSRouter < 0 {
+	if t.ERbit < 0 || t.ELbit < 0 || t.ECbit < 0 || t.ETSVbit < 0 || t.PSRouter < 0 {
 		return fmt.Errorf("energy: negative coefficient in profile %q", t.Name)
 	}
 	return nil
@@ -56,7 +74,20 @@ func (t Tech) BitEnergy(k int) float64 {
 // CWM path evaluator both produce exactly these aggregates, which is why
 // the two models agree on dynamic energy for a fixed mapping.
 func (t Tech) DynamicFromTraffic(routerBits, linkBits, coreBits int64) float64 {
-	return float64(routerBits)*t.ERbit + float64(linkBits)*t.ELbit + float64(coreBits)*t.ECbit
+	return t.DynamicFromTraffic3D(routerBits, linkBits, 0, coreBits)
+}
+
+// DynamicFromTraffic3D is DynamicFromTraffic with the vertical-link
+// traffic split out: tsvBits (a subset of linkBits) is priced at TSVBit
+// instead of ELbit. With tsvBits == 0 the expression reduces, operation
+// for operation, to the 2-D formula — which is what keeps depth-1 grids
+// bit-identical to the original model.
+func (t Tech) DynamicFromTraffic3D(routerBits, linkBits, tsvBits, coreBits int64) float64 {
+	e := float64(routerBits)*t.ERbit + float64(linkBits-tsvBits)*t.ELbit + float64(coreBits)*t.ECbit
+	if tsvBits != 0 {
+		e += float64(tsvBits) * t.TSVBit()
+	}
+	return e
 }
 
 // StaticPower returns PStNoC of equation (5): numTiles * PSRouter.
@@ -117,7 +148,8 @@ var Tech035 = Tech{
 	ERbit:    4.0e-12,
 	ELbit:    6.0e-12,
 	ECbit:    0,
-	PSRouter: 55e-6, // 55 µW per router
+	ETSVbit:  1.2e-12, // TSVs are ~mm-to-µm shorter than planar links: ELbit/5
+	PSRouter: 55e-6,   // 55 µW per router
 }
 
 // Tech007 models a projected 0.07µm process following the paper's
@@ -133,5 +165,6 @@ var Tech007 = Tech{
 	ERbit:    0.16e-12,
 	ELbit:    0.24e-12,
 	ECbit:    0,
-	PSRouter: 155e-6, // 155 µW per router, leakage dominated
+	ETSVbit:  0.048e-12, // ELbit/5, same short-wire ratio as Tech035
+	PSRouter: 155e-6,    // 155 µW per router, leakage dominated
 }

@@ -140,3 +140,29 @@ func TestQuickStaticMonotoneInTime(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDynamicFromTraffic3D(t *testing.T) {
+	tech := Tech{Name: "t", ERbit: 2, ELbit: 3, ECbit: 5, ETSVbit: 1}
+	// tsvBits == 0 must reduce to the 2-D formula bit-for-bit.
+	if got, want := tech.DynamicFromTraffic3D(7, 4, 0, 2), tech.DynamicFromTraffic(7, 4, 2); got != want {
+		t.Fatalf("3D with no TSV traffic = %g, 2D = %g", got, want)
+	}
+	// 7 router-bits, 4 link-bits of which 3 vertical, 2 core-bits:
+	// 7*2 + 1*3 + 3*1 + 2*5 = 30.
+	if got := tech.DynamicFromTraffic3D(7, 4, 3, 2); got != 30 {
+		t.Fatalf("3D pricing = %g, want 30", got)
+	}
+	// ETSVbit falls back to ELbit when unset, so 3-D grids stay priced
+	// under techs that predate the extension.
+	legacy := Tech{Name: "legacy", ERbit: 2, ELbit: 3}
+	if legacy.TSVBit() != 3 {
+		t.Fatalf("TSVBit fallback = %g, want ELbit 3", legacy.TSVBit())
+	}
+	if got := legacy.DynamicFromTraffic3D(0, 4, 3, 0); got != 12 {
+		t.Fatalf("fallback pricing = %g, want 12", got)
+	}
+	neg := Tech{Name: "n", ETSVbit: -1}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative ETSVbit accepted")
+	}
+}

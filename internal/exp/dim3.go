@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/appgen"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/model"
+	"repro/internal/noc"
+	"repro/internal/par"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// This file is the 2-D-vs-3-D comparison experiment: the same application
+// explored on a planar W×H×1 grid and on a stacked grid with the same
+// tile count (the canonical 4x4x1 vs 2x2x4 pairing of the 3-D NoC
+// mapping literature, e.g. Jha et al., arXiv:1404.2512). Folding a mesh
+// into layers shortens average Manhattan distance — 2x2x4's diameter is 5
+// vs 4x4x1's 6, and most tile pairs get closer — which cuts both router
+// traversals (energy) and uncontended hop counts (latency); the TSV
+// energy/latency profile (energy.Tech.ETSVbit, noc.Config.TSVLinkCycles)
+// prices the vertical links the fold introduces.
+
+// Dim3Shape is one topology variant of the comparison.
+type Dim3Shape struct {
+	// W, H, D are the grid dimensions.
+	W, H, D int
+	// Torus adds wrap-around links in every dimension.
+	Torus bool
+}
+
+// Name formats the shape like "4x4x1" (with a "-torus" suffix when
+// wrapped).
+func (s Dim3Shape) Name() string {
+	n := fmt.Sprintf("%dx%dx%d", s.W, s.H, s.D)
+	if s.Torus {
+		n += "-torus"
+	}
+	return n
+}
+
+// Mesh instantiates the shape.
+func (s Dim3Shape) Mesh() (*topology.Mesh, error) {
+	if s.Torus {
+		return topology.NewTorus3D(s.W, s.H, s.D)
+	}
+	return topology.NewMesh3D(s.W, s.H, s.D)
+}
+
+// DefaultDim3Shapes returns the canonical equal-tile-count pairing: a
+// planar 4×depth grid against a 2×2×depth stack — both hold 4·depth
+// tiles, so depth 4 gives the 4x4x1-vs-2x2x4 comparison of the issue.
+// torus selects wrap-around variants for both shapes.
+func DefaultDim3Shapes(depth int, torus bool) []Dim3Shape {
+	if depth <= 0 {
+		depth = 4
+	}
+	return []Dim3Shape{
+		{W: 4, H: depth, D: 1, Torus: torus},
+		{W: 2, H: 2, D: depth, Torus: torus},
+	}
+}
+
+// Dim3Workload builds the experiment's fixed-seed application: a
+// phase-synchronised benchmark with exactly `cores` cores (0 defaults to
+// 16, filling both default depth-4 shapes). Traffic and computation scale
+// with the core count so every depth compares the same per-core load.
+func Dim3Workload(cores int) (*model.CDCG, error) {
+	if cores <= 0 {
+		cores = 16
+	}
+	return appgen.Generate(appgen.Params{
+		Name:  fmt.Sprintf("dim3-%dc", cores),
+		Cores: cores, Packets: 4 * cores, TotalBits: int64(1500 * cores),
+		Seed: 31, Mode: appgen.ModePhases, ComputeMin: 10, ComputeMax: 60,
+	})
+}
+
+// Dim3Outcome is one (application, shape, strategy) exploration, priced
+// with the CDCM simulator under Tech007.
+type Dim3Outcome struct {
+	App      string
+	Shape    string
+	Strategy core.Strategy
+	// Evaluations counts objective calls of the exploration.
+	Evaluations int64
+	// ExecCycles/ContentionCycles are the winner's timing.
+	ExecCycles, ContentionCycles int64
+	// DynamicPJ/StaticPJ/TotalPJ break down the winner's energy.
+	DynamicPJ, StaticPJ, TotalPJ float64
+	// TSVBits is the winner's vertical-link traffic (0 on planar shapes).
+	TSVBits int64
+}
+
+// RunDim3 explores the application on every shape under both strategies.
+// The (shape, strategy) grid runs on a worker pool sized by opts.Workers;
+// outcomes are stored by grid index, so results are bit-identical for
+// every worker count.
+func RunDim3(g *model.CDCG, shapes []Dim3Shape, cfg noc.Config, opts core.Options) ([]Dim3Outcome, error) {
+	if len(shapes) == 0 {
+		shapes = DefaultDim3Shapes(0, false)
+	}
+	if cfg == (noc.Config{}) {
+		cfg = noc.Default()
+	}
+	strategies := []core.Strategy{core.StrategyCWM, core.StrategyCDCM}
+	outs := make([]Dim3Outcome, len(shapes)*len(strategies))
+	err := par.ForEach(len(outs), opts.Workers, func(i int) error {
+		shape := shapes[i/len(strategies)]
+		strat := strategies[i%len(strategies)]
+		mesh, err := shape.Mesh()
+		if err != nil {
+			return err
+		}
+		res, err := core.Explore(strat, mesh, cfg, energy.Tech007, g, opts)
+		if err != nil {
+			return fmt.Errorf("exp: dim3 %s/%s: %w", shape.Name(), strat, err)
+		}
+		outs[i] = Dim3Outcome{
+			App:              g.Name,
+			Shape:            shape.Name(),
+			Strategy:         strat,
+			Evaluations:      res.Search.Evaluations,
+			ExecCycles:       res.Metrics.ExecCycles,
+			ContentionCycles: res.Metrics.ContentionCycles,
+			DynamicPJ:        res.Metrics.Energy.Dynamic * 1e12,
+			StaticPJ:         res.Metrics.Energy.Static * 1e12,
+			TotalPJ:          res.Metrics.Total() * 1e12,
+			TSVBits:          res.Metrics.TSVBits,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// RenderDim3 formats the energy/latency comparison table.
+func RenderDim3(outs []Dim3Outcome) string {
+	headers := []string{"app", "topology", "model", "evals", "texec (cy)", "contention (cy)",
+		"Edyn (pJ)", "Estat (pJ)", "ENoC (pJ)", "TSV bits"}
+	var rows [][]string
+	last := ""
+	for _, o := range outs {
+		name := o.App
+		if name == last {
+			name = ""
+		} else {
+			last = o.App
+		}
+		rows = append(rows, []string{
+			name, o.Shape, o.Strategy.String(),
+			fmt.Sprint(o.Evaluations),
+			fmt.Sprint(o.ExecCycles),
+			fmt.Sprint(o.ContentionCycles),
+			fmt.Sprintf("%.5g", o.DynamicPJ),
+			fmt.Sprintf("%.5g", o.StaticPJ),
+			fmt.Sprintf("%.5g", o.TotalPJ),
+			fmt.Sprint(o.TSVBits),
+		})
+	}
+	return "2D vs 3D — same application, equal tile count, TSV-priced vertical links (Tech 0.07um)\n" +
+		trace.Table(headers, rows)
+}

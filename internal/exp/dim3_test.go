@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+)
+
+func TestDefaultDim3ShapesEqualTiles(t *testing.T) {
+	for _, depth := range []int{0, 2, 4, 6} {
+		for _, torus := range []bool{false, true} {
+			shapes := DefaultDim3Shapes(depth, torus)
+			if len(shapes) != 2 {
+				t.Fatalf("depth %d: %d shapes", depth, len(shapes))
+			}
+			t0 := shapes[0].W * shapes[0].H * shapes[0].D
+			t1 := shapes[1].W * shapes[1].H * shapes[1].D
+			if t0 != t1 {
+				t.Fatalf("depth %d: unequal tile counts %d vs %d", depth, t0, t1)
+			}
+			if shapes[0].D != 1 || shapes[1].D < 2 && depth != 1 {
+				t.Fatalf("depth %d: shapes %v not a 2D-vs-3D pair", depth, shapes)
+			}
+			if shapes[0].Torus != torus || shapes[1].Torus != torus {
+				t.Fatalf("torus flag not threaded through: %v", shapes)
+			}
+		}
+	}
+	if got := (Dim3Shape{W: 2, H: 2, D: 4, Torus: true}).Name(); got != "2x2x4-torus" {
+		t.Fatalf("Name() = %q", got)
+	}
+}
+
+// TestRunDim3 checks the comparison runs end to end, reports vertical
+// (TSV) traffic only on the stacked shape, and is bit-identical for every
+// worker count.
+func TestRunDim3(t *testing.T) {
+	g, err := Dim3Workload(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Method: core.MethodSA, Seed: 5, TempSteps: 8, MovesPerTemp: 12}
+	ref, err := RunDim3(g, nil, noc.Config{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != 4 { // 2 shapes x {CWM, CDCM}
+		t.Fatalf("%d outcomes, want 4", len(ref))
+	}
+	for _, o := range ref {
+		planar := strings.HasSuffix(o.Shape, "x1")
+		if planar && o.TSVBits != 0 {
+			t.Fatalf("planar shape %s reports %d TSV bits", o.Shape, o.TSVBits)
+		}
+		if !planar && o.TSVBits == 0 {
+			t.Fatalf("stacked shape %s reports no TSV traffic", o.Shape)
+		}
+		if o.ExecCycles <= 0 || o.TotalPJ <= 0 {
+			t.Fatalf("degenerate outcome %+v", o)
+		}
+	}
+	for _, workers := range []int{2, 4} {
+		po := opts
+		po.Workers = workers
+		got, err := RunDim3(g, nil, noc.Config{}, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d diverged from serial run", workers)
+		}
+	}
+	if s := RenderDim3(ref); !strings.Contains(s, "2x2x4") || !strings.Contains(s, "4x4x1") {
+		t.Fatalf("render missing shapes:\n%s", s)
+	}
+}

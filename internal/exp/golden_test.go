@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/appgen"
+	"repro/internal/core"
+	"repro/internal/noc"
+)
+
+// The golden tests pin the rendered experiment reports byte-for-byte on a
+// small fixed-seed workload: a refactor that silently changes published
+// numbers (routing, energy folding, simulator timing, search trajectory)
+// fails here even when every unit test still passes. Regenerate with
+//
+//	go test ./internal/exp -run TestGolden -update
+//
+// and review the diff like any other code change.
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output diverged from %s (run with -update and review the diff)\n--- want ---\n%s\n--- got ---\n%s",
+			path, want, got)
+	}
+}
+
+// goldenSuite is one fixed-seed 3x3 workload, built directly from the
+// generator (not Table1Suite) so the golden baseline cannot drift when
+// the published suite is retuned.
+func goldenSuite(t *testing.T) []Workload {
+	t.Helper()
+	g, err := appgen.Generate(appgen.Params{
+		Name: "golden-3x3", Cores: 7, Packets: 24, TotalBits: 4200,
+		Seed: 42, Mode: appgen.ModePhases, ComputeMin: 5, ComputeMax: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Workload{{Name: "golden-3x3", MeshW: 3, MeshH: 3, G: g, PaperCores: 7}}
+}
+
+// goldenOptions is the shared small deterministic search budget.
+func goldenOptions() core.Options {
+	return core.Options{Method: core.MethodSA, Seed: 7, TempSteps: 12, MovesPerTemp: 20}
+}
+
+func TestGoldenTable2(t *testing.T) {
+	rep, err := RunTable2(goldenSuite(t), Table2Options{
+		Search: goldenOptions(),
+		Seeds:  []int64{7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table2.golden", rep.Render())
+}
+
+func TestGoldenAblation(t *testing.T) {
+	outs, err := RunAblations(goldenSuite(t), nil, goldenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "ablation.golden", RenderAblations(outs))
+}
+
+func TestGoldenDim3(t *testing.T) {
+	g, err := Dim3Workload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := RunDim3(g, nil, noc.Config{}, goldenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "dim3.golden", RenderDim3(outs))
+}
+
+func TestGoldenSensitivity(t *testing.T) {
+	outs, err := RunSensitivity(goldenSuite(t), noc.Config{}, 50, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sensitivity.golden", RenderSensitivity(outs))
+}

@@ -28,6 +28,13 @@ import (
 //	packet pAF1 A F compute=6  bits=15 after=pAB1,pEA1
 //	packet pFB1 F B compute=6  bits=15 after=pAF1
 
+// The CWG variant of the format shares the name/cores directives and
+// declares aggregate communications instead of packets:
+//
+//	name  <application-name>
+//	cores <name> [<name> ...]
+//	comm  <src> <dst> <bits>
+
 // ParseText reads the text format and returns a validated CDCG.
 func ParseText(r io.Reader) (*CDCG, error) {
 	g := &CDCG{}
@@ -129,6 +136,130 @@ func ParseText(r io.Reader) (*CDCG, error) {
 	return g, nil
 }
 
+// sanitize replaces every byte of s listed in seps with '_'. The
+// separator sets are pure ASCII, so byte-wise mapping leaves every other
+// byte untouched — including invalid UTF-8, which strings.Map would
+// silently re-encode as U+FFFD and break byte-exact round trips.
+func sanitize(s, seps string) string {
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		if strings.IndexByte(seps, s[i]) >= 0 {
+			if b == nil {
+				b = []byte(s)
+			}
+			b[i] = '_'
+		}
+	}
+	if b == nil {
+		return s
+	}
+	return string(b)
+}
+
+// writeNames returns parser-safe, unique renderings of the n core names:
+// characters the line format cannot carry in a name (whitespace, '#') are
+// sanitised to underscores and collisions get '_' suffixes, mirroring the
+// packet-label canonicalisation. Parser-produced names pass through
+// untouched (they are whitespace- and comment-free by construction); the
+// sanitising exists for graphs built programmatically, whose names would
+// otherwise render to text the parsers cannot round-trip.
+func writeNames(n int, name func(CoreID) string) []string {
+	names := make([]string, n)
+	used := make(map[string]bool, n)
+	for i := range names {
+		l := sanitize(name(CoreID(i)), " \t\n\r#")
+		if l == "" {
+			l = fmt.Sprintf("c%d", i)
+		}
+		for used[l] {
+			l += "_"
+		}
+		used[l] = true
+		names[i] = l
+	}
+	return names
+}
+
+// ParseCWGText reads the CWG text format (name/cores/comm directives) and
+// returns a validated CWG.
+func ParseCWGText(r io.Reader) (*CWG, error) {
+	g := &CWG{}
+	coreByName := make(map[string]CoreID)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "name":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("model: line %d: name takes one argument", lineNo)
+			}
+			// CWG carries no name field; accepted for symmetry with the
+			// CDCG grammar so one header works for both projections.
+		case "core", "cores":
+			for _, name := range fields[1:] {
+				if _, dup := coreByName[name]; dup {
+					return nil, fmt.Errorf("model: line %d: duplicate core %q", lineNo, name)
+				}
+				id := CoreID(len(g.Cores))
+				coreByName[name] = id
+				g.Cores = append(g.Cores, Core{ID: id, Name: name})
+			}
+		case "comm":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("model: line %d: comm needs src, dst, bits", lineNo)
+			}
+			src, ok := coreByName[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("model: line %d: unknown core %q", lineNo, fields[1])
+			}
+			dst, ok := coreByName[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("model: line %d: unknown core %q", lineNo, fields[2])
+			}
+			bits, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("model: line %d: bits: %w", lineNo, err)
+			}
+			g.Edges = append(g.Edges, CWGEdge{Src: src, Dst: dst, Bits: bits})
+		default:
+			return nil, fmt.Errorf("model: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("model: reading text CWG: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteText renders the CWG in the text format parsed by ParseCWGText.
+func (g *CWG) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	names := writeNames(len(g.Cores), g.CoreName)
+	bw.WriteString("cores")
+	for _, n := range names {
+		fmt.Fprintf(bw, " %s", n)
+	}
+	bw.WriteByte('\n')
+	for _, e := range g.Edges {
+		fmt.Fprintf(bw, "comm %s %s %d\n", names[e.Src], names[e.Dst], e.Bits)
+	}
+	return bw.Flush()
+}
+
 // WriteText renders the CDCG in the text format parsed by ParseText.
 // Packets without labels get generated p<ID> labels.
 func (g *CDCG) WriteText(w io.Writer) error {
@@ -136,42 +267,40 @@ func (g *CDCG) WriteText(w io.Writer) error {
 	if g.Name != "" {
 		fmt.Fprintf(bw, "name %s\n", g.Name)
 	}
+	names := writeNames(len(g.Cores), g.CoreName)
 	bw.WriteString("cores")
-	for _, c := range g.Cores {
-		fmt.Fprintf(bw, " %s", g.CoreName(c.ID))
+	for _, n := range names {
+		fmt.Fprintf(bw, " %s", n)
 	}
 	bw.WriteByte('\n')
 
 	// Labels serve as references in after= lists, so characters that the
 	// parser treats as separators (whitespace, commas, '#', '=') are
-	// sanitised to underscores; sanitised collisions fall back to
-	// generated p<ID> labels.
-	used := make(map[string]PacketID, len(g.Packets))
-	label := func(id PacketID) string {
-		l := g.Packets[id].Label
+	// sanitised to underscores. Labels are assigned up front in packet-ID
+	// order and forced unique by suffixing '_' — a collision fallback that
+	// invented p<ID> names could itself collide with another packet's
+	// literal label and render unparseable output.
+	labels := make([]string, len(g.Packets))
+	used := make(map[string]bool, len(g.Packets))
+	for i, p := range g.Packets {
+		l := sanitize(p.Label, " \t\n\r,#=")
 		if l == "" {
-			return fmt.Sprintf("p%d", id)
+			l = fmt.Sprintf("p%d", p.ID)
 		}
-		l = strings.Map(func(r rune) rune {
-			switch r {
-			case ' ', '\t', ',', '#', '=':
-				return '_'
-			}
-			return r
-		}, l)
-		if prev, dup := used[l]; dup && prev != id {
-			return fmt.Sprintf("p%d", id)
+		for used[l] {
+			l += "_"
 		}
-		used[l] = id
-		return l
+		used[l] = true
+		labels[i] = l
 	}
+	label := func(id PacketID) string { return labels[id] }
 	after := make(map[PacketID][]string)
 	for _, d := range g.Deps {
 		after[d.To] = append(after[d.To], label(d.From))
 	}
 	for _, p := range g.Packets {
 		fmt.Fprintf(bw, "packet %s %s %s compute=%d bits=%d",
-			label(p.ID), g.CoreName(p.Src), g.CoreName(p.Dst), p.Compute, p.Bits)
+			label(p.ID), names[p.Src], names[p.Dst], p.Compute, p.Bits)
 		if deps := after[p.ID]; len(deps) > 0 {
 			fmt.Fprintf(bw, " after=%s", strings.Join(deps, ","))
 		}

@@ -45,6 +45,11 @@ type Config struct {
 	// LinkCycles is tl, the cycles needed to move one flit across any
 	// link (inter-tile or core↔router).
 	LinkCycles int64
+	// TSVLinkCycles is the per-flit traversal time of a vertical
+	// (through-silicon-via) link on 3-D topologies, the tl analogue of the
+	// TSV latency profile. 0 means "same as LinkCycles". Ignored on
+	// depth-1 grids, which have no vertical links.
+	TSVLinkCycles int64
 	// ClockNS is the clock period λ in nanoseconds.
 	ClockNS float64
 	// Routing selects the deterministic routing function (XY or YX).
@@ -112,8 +117,13 @@ func (c Config) Validate() error {
 	if c.ClockNS <= 0 {
 		return fmt.Errorf("noc: clock period must be positive, got %g", c.ClockNS)
 	}
-	if c.Routing != topology.RouteXY && c.Routing != topology.RouteYX {
+	switch c.Routing {
+	case topology.RouteXY, topology.RouteYX, topology.RouteXYZ, topology.RouteZYX:
+	default:
 		return fmt.Errorf("noc: unknown routing algorithm %d", c.Routing)
+	}
+	if c.TSVLinkCycles < 0 {
+		return fmt.Errorf("noc: TSV link cycles must be non-negative, got %d", c.TSVLinkCycles)
 	}
 	if c.Buffers == BuffersBounded && c.BufferFlits <= 0 {
 		return fmt.Errorf("noc: bounded buffers need a positive depth, got %d", c.BufferFlits)
@@ -131,9 +141,23 @@ func (c Config) Flits(bits int64) int64 {
 	return (bits + fb - 1) / fb
 }
 
+// TSVCycles returns the effective per-flit vertical-link traversal time:
+// TSVLinkCycles when set, LinkCycles otherwise. The wormhole simulator
+// applies it per vertical hop, so on depth-1 grids it never enters any
+// timing computation.
+func (c Config) TSVCycles() int64 {
+	if c.TSVLinkCycles > 0 {
+		return c.TSVLinkCycles
+	}
+	return c.LinkCycles
+}
+
 // UncontendedDelay returns the total packet delay of equation (8) in
 // cycles for a packet of n flits crossing K routers without contention:
-// d = K*(tr+tl) + tl*n.
+// d = K*(tr+tl) + tl*n. The eq-(6)-(8) helpers assume the uniform
+// per-hop link time tl of the paper's 2-D model; on 3-D grids with
+// TSVLinkCycles ≠ LinkCycles the simulator prices each hop individually
+// and these closed forms are horizontal-path approximations.
 func (c Config) UncontendedDelay(k int, flits int64) int64 {
 	return int64(k)*(c.RoutingCycles+c.LinkCycles) + c.LinkCycles*flits
 }

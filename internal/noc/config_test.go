@@ -91,3 +91,33 @@ func TestPolicyString(t *testing.T) {
 		t.Fatal("BufferPolicy.String mismatch")
 	}
 }
+
+func TestTSVCyclesAndValidation(t *testing.T) {
+	c := Default()
+	if c.TSVCycles() != c.LinkCycles {
+		t.Fatalf("TSVCycles default = %d, want LinkCycles %d", c.TSVCycles(), c.LinkCycles)
+	}
+	c.TSVLinkCycles = 3
+	if c.TSVCycles() != 3 {
+		t.Fatalf("TSVCycles = %d, want 3", c.TSVCycles())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("TSV config rejected: %v", err)
+	}
+	c.TSVLinkCycles = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative TSV cycles accepted")
+	}
+	for _, algo := range []topology.RoutingAlgo{topology.RouteXY, topology.RouteYX, topology.RouteXYZ, topology.RouteZYX} {
+		c := Default()
+		c.Routing = algo
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%v rejected: %v", algo, err)
+		}
+	}
+	bad := Default()
+	bad.Routing = topology.RoutingAlgo(99)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown routing accepted")
+	}
+}

@@ -80,8 +80,13 @@ func (w *deltaWireLength) Commit(ta, tb topology.TileID) float64 {
 // deltaProblem returns the same instance twice: once behind the plain
 // Objective (full recompute path) and once behind the DeltaObjective.
 func deltaProblem(t *testing.T, w, h, cores int) (full, delta Problem, dw *deltaWireLength) {
+	return deltaProblem3D(t, w, h, 1, cores)
+}
+
+// deltaProblem3D is deltaProblem over a stacked W×H×D mesh.
+func deltaProblem3D(t *testing.T, w, h, d, cores int) (full, delta Problem, dw *deltaWireLength) {
 	t.Helper()
-	full, obj := testProblem(t, w, h, cores)
+	full, obj := testProblem3D(t, w, h, d, cores)
 	dw = &deltaWireLength{wireLength: *obj}
 	delta = Problem{Mesh: full.Mesh, NumCores: cores, Obj: dw}
 	return full, delta, dw
@@ -190,8 +195,8 @@ func TestTabuBestCostMatchesFullRecompute(t *testing.T) {
 // trajectories must coincide exactly: same best mapping, same cost, same
 // number of objective evaluations.
 func TestDeltaPathMatchesFullPath(t *testing.T) {
-	for _, dims := range [][3]int{{3, 3, 6}, {4, 4, 9}, {5, 4, 11}} {
-		full, delta, dw := deltaProblem(t, dims[0], dims[1], dims[2])
+	for _, dims := range [][4]int{{3, 3, 1, 6}, {4, 4, 1, 9}, {5, 4, 1, 11}, {2, 2, 2, 6}, {4, 4, 2, 14}} {
+		full, delta, dw := deltaProblem3D(t, dims[0], dims[1], dims[2], dims[3])
 		for name, run := range map[string]func(p Problem) (*Result, error){
 			"annealer": func(p Problem) (*Result, error) {
 				return (&Annealer{Problem: p, Seed: 5, TempSteps: 12, Reheats: 1}).Run()

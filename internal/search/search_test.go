@@ -27,8 +27,14 @@ func (w *wireLength) Cost(mp mapping.Mapping) (float64, error) {
 }
 
 func testProblem(t *testing.T, w, h, cores int) (Problem, *wireLength) {
+	return testProblem3D(t, w, h, 1, cores)
+}
+
+// testProblem3D is testProblem over a stacked W×H×D mesh; wireLength
+// already measures 3-D Manhattan distance through Mesh.MinHops.
+func testProblem3D(t *testing.T, w, h, d, cores int) (Problem, *wireLength) {
 	t.Helper()
-	mesh, err := topology.NewMesh(w, h)
+	mesh, err := topology.NewMesh3D(w, h, d)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,161 @@
+package topology
+
+import "testing"
+
+func TestMesh3DBasics(t *testing.T) {
+	m, err := NewMesh3D(3, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.W() != 3 || m.H() != 2 || m.D() != 4 {
+		t.Fatalf("dims %dx%dx%d", m.W(), m.H(), m.D())
+	}
+	if m.NumTiles() != 24 {
+		t.Fatalf("NumTiles = %d", m.NumTiles())
+	}
+	// Coord/TileAt round-trip over every tile.
+	for i := 0; i < m.NumTiles(); i++ {
+		c := m.Coord(TileID(i))
+		if got := m.TileAt(c.X, c.Y, c.Z); got != TileID(i) {
+			t.Fatalf("tile %d -> %+v -> %d", i, c, got)
+		}
+	}
+	// Layer 0 numbering matches the 2-D mesh exactly.
+	flat, err := NewMesh(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 3; x++ {
+			if m.TileAt(x, y, 0) != flat.Tile(x, y) {
+				t.Fatalf("layer-0 tile (%d,%d) renumbered", x, y)
+			}
+		}
+	}
+	// Vertical neighbours cross exactly one layer.
+	down, ok := m.Neighbor(m.TileAt(1, 1, 0), Down)
+	if !ok || down != m.TileAt(1, 1, 1) {
+		t.Fatalf("Down from (1,1,0) = %d, ok=%v", down, ok)
+	}
+	if _, ok := m.Neighbor(m.TileAt(0, 0, 0), Up); ok {
+		t.Fatal("Up from the top layer exists on a mesh")
+	}
+	if _, ok := m.Neighbor(m.TileAt(0, 0, 3), Down); ok {
+		t.Fatal("Down from the bottom layer exists on a mesh")
+	}
+}
+
+// TestMesh3DLinkCounts pins the directed-link census: horizontal links
+// replicate per layer, vertical (TSV) links connect adjacent layers, and
+// LinkVertical classifies exactly the latter.
+func TestMesh3DLinkCounts(t *testing.T) {
+	for _, tc := range []struct{ w, h, d int }{{2, 2, 2}, {3, 2, 4}, {4, 4, 2}, {1, 1, 5}} {
+		m, err := NewMesh3D(tc.w, tc.h, tc.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horiz := tc.d * (2*(tc.w-1)*tc.h + 2*tc.w*(tc.h-1))
+		vert := 2 * tc.w * tc.h * (tc.d - 1)
+		if m.NumLinks() != horiz+vert {
+			t.Fatalf("%dx%dx%d: %d links, want %d+%d", tc.w, tc.h, tc.d, m.NumLinks(), horiz, vert)
+		}
+		gotVert := 0
+		for i := 0; i < m.NumLinks(); i++ {
+			if m.LinkVertical(i) {
+				gotVert++
+			}
+		}
+		if gotVert != vert {
+			t.Fatalf("%dx%dx%d: %d vertical links, want %d", tc.w, tc.h, tc.d, gotVert, vert)
+		}
+	}
+}
+
+func TestTorus3DWrapAndVerticalHops(t *testing.T) {
+	m, err := NewTorus3D(2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every dimension of size > 1 contributes two directed links per tile.
+	if want := m.NumTiles() * 6; m.NumLinks() != want {
+		t.Fatalf("links = %d, want %d", m.NumLinks(), want)
+	}
+	// Z wraps: Up from layer 0 lands on layer 3.
+	up, ok := m.Neighbor(m.TileAt(0, 0, 0), Up)
+	if !ok || up != m.TileAt(0, 0, 3) {
+		t.Fatalf("Up from layer 0 = %d, ok=%v", up, ok)
+	}
+	// Wrap shortcut: layers 0 and 3 are one vertical hop apart.
+	if got := m.VerticalHops(m.TileAt(0, 0, 0), m.TileAt(0, 0, 3)); got != 1 {
+		t.Fatalf("VerticalHops(0,3 layers) = %d on a depth-4 torus", got)
+	}
+	if got := m.MinHops(m.TileAt(1, 1, 0), m.TileAt(0, 0, 2)); got != 4 {
+		t.Fatalf("MinHops = %d, want 4", got)
+	}
+	// Depth-1 grids report no vertical hops anywhere.
+	flat, err := NewTorus(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.VerticalHops(0, 8) != 0 || flat.LinkVertical(0) {
+		t.Fatal("depth-1 torus reports vertical structure")
+	}
+}
+
+// TestMesh3DDepth1Identical pins the D=1 special case: construction,
+// numbering, link enumeration and routing of NewMesh3D(w, h, 1) are
+// bit-identical to NewMesh(w, h).
+func TestMesh3DDepth1Identical(t *testing.T) {
+	for _, tc := range []struct {
+		w, h  int
+		torus bool
+	}{{3, 2, false}, {4, 4, false}, {3, 3, true}} {
+		var m2, m3 *Mesh
+		var err error
+		if tc.torus {
+			m2, err = NewTorus(tc.w, tc.h)
+			if err == nil {
+				m3, err = NewTorus3D(tc.w, tc.h, 1)
+			}
+		} else {
+			m2, err = NewMesh(tc.w, tc.h)
+			if err == nil {
+				m3, err = NewMesh3D(tc.w, tc.h, 1)
+			}
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m2.NumTiles() != m3.NumTiles() || m2.NumLinks() != m3.NumLinks() {
+			t.Fatalf("%dx%d: tile/link census differs: %d/%d vs %d/%d",
+				tc.w, tc.h, m2.NumTiles(), m2.NumLinks(), m3.NumTiles(), m3.NumLinks())
+		}
+		for a := 0; a < m2.NumTiles(); a++ {
+			for b := 0; b < m2.NumTiles(); b++ {
+				li2, ok2 := m2.LinkIndex(TileID(a), TileID(b))
+				li3, ok3 := m3.LinkIndex(TileID(a), TileID(b))
+				if ok2 != ok3 || li2 != li3 {
+					t.Fatalf("link %d->%d: (%d,%v) vs (%d,%v)", a, b, li2, ok2, li3, ok3)
+				}
+				for _, algo := range []RoutingAlgo{RouteXY, RouteYX, RouteXYZ, RouteZYX} {
+					r2, err := m2.Route(algo, TileID(a), TileID(b))
+					if err != nil {
+						t.Fatal(err)
+					}
+					r3, err := m3.Route(algo, TileID(a), TileID(b))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(r2.Tiles) != len(r3.Tiles) {
+						t.Fatalf("route %d->%d lengths differ", a, b)
+					}
+					for i := range r2.Tiles {
+						if r2.Tiles[i] != r3.Tiles[i] {
+							t.Fatalf("route %d->%d diverges at hop %d", a, b, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}

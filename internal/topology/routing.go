@@ -1,33 +1,102 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseGridSpec parses a "WxH" or "WxHxD" grid specification (lower- or
+// upper-case 'x' separators) into its dimensions; D defaults to 1 for
+// planar specs. Every dimension must be a bare positive integer —
+// trailing garbage ("4x4junk", "2x2x4.5") is rejected, not truncated.
+// Both CLIs share this parser so the spec grammar cannot drift between
+// them.
+func ParseGridSpec(spec string) (w, h, d int, err error) {
+	parts := strings.Split(strings.ToLower(spec), "x")
+	if len(parts) != 2 && len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("topology: grid spec %q is not WxH or WxHxD", spec)
+	}
+	d = 1
+	dims := []*int{&w, &h, &d}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return 0, 0, 0, fmt.Errorf("topology: grid dimension %q is not a positive integer", p)
+		}
+		*dims[i] = v
+	}
+	return w, h, d, nil
+}
 
 // RoutingAlgo selects the deterministic routing function. The paper uses
-// XY (route fully in the X dimension, then in Y); YX is the symmetric
-// extension. Both are minimal and deadlock-free on a mesh.
+// XY (route fully in the X dimension, then in Y); the other orders are
+// symmetric extensions. All are minimal, dimension-ordered and
+// deadlock-free on a mesh. On 3-D grids every algorithm resolves the
+// remaining dimensions in its stated order, with unstated dimensions
+// last: XY and XYZ route X, then Y, then Z (so they coincide on every
+// grid, and on depth-1 grids Z is vacuous); YX routes Y, X, Z; ZYX routes
+// Z, Y, X.
 type RoutingAlgo int
 
 const (
-	// RouteXY resolves the X offset first, then Y (the paper's choice).
+	// RouteXY resolves the X offset first, then Y, then Z (the paper's
+	// choice; Z is vacuous on 2-D grids).
 	RouteXY RoutingAlgo = iota
-	// RouteYX resolves the Y offset first, then X.
+	// RouteYX resolves the Y offset first, then X, then Z.
 	RouteYX
+	// RouteXYZ is the canonical 3-D name for X-then-Y-then-Z routing; it
+	// routes identically to RouteXY on every grid.
+	RouteXYZ
+	// RouteZYX resolves the Z offset first (TSV hops up front), then Y,
+	// then X.
+	RouteZYX
 )
 
+// axis identifies one routing dimension.
+type axis int
+
+const (
+	axisX axis = iota
+	axisY
+	axisZ
+)
+
+// order returns the dimension resolution order of the algorithm.
+func (r RoutingAlgo) order() [3]axis {
+	switch r {
+	case RouteYX:
+		return [3]axis{axisY, axisX, axisZ}
+	case RouteZYX:
+		return [3]axis{axisZ, axisY, axisX}
+	}
+	return [3]axis{axisX, axisY, axisZ} // RouteXY, RouteXYZ
+}
+
 func (r RoutingAlgo) String() string {
-	if r == RouteYX {
+	switch r {
+	case RouteYX:
 		return "YX"
+	case RouteXYZ:
+		return "XYZ"
+	case RouteZYX:
+		return "ZYX"
 	}
 	return "XY"
 }
 
-// ParseRoutingAlgo converts "xy"/"yx" (case-insensitive) to a RoutingAlgo.
+// ParseRoutingAlgo converts "xy"/"yx"/"xyz"/"zyx" (case-insensitive) to a
+// RoutingAlgo.
 func ParseRoutingAlgo(s string) (RoutingAlgo, error) {
-	switch s {
-	case "xy", "XY", "Xy", "xY":
+	switch strings.ToLower(s) {
+	case "xy":
 		return RouteXY, nil
-	case "yx", "YX", "Yx", "yX":
+	case "yx":
 		return RouteYX, nil
+	case "xyz":
+		return RouteXYZ, nil
+	case "zyx":
+		return RouteZYX, nil
 	}
 	return 0, fmt.Errorf("topology: unknown routing algorithm %q", s)
 }
@@ -57,21 +126,27 @@ func (r Route) Hops() int {
 // at src and ends at dst; for src == dst it is the single-router route.
 func (m *Mesh) Route(algo RoutingAlgo, src, dst TileID) (Route, error) {
 	if !m.Valid(src) || !m.Valid(dst) {
-		return Route{}, fmt.Errorf("topology: route endpoints %d->%d outside %dx%d %s", src, dst, m.w, m.h, m.kind)
+		return Route{}, fmt.Errorf("topology: route endpoints %d->%d outside %dx%dx%d %s",
+			src, dst, m.w, m.h, m.d, m.kind)
 	}
 	tiles := []TileID{src}
 	cur := src
-	stepDim := func(target int, horizontal bool) {
+	stepDim := func(target int, ax axis) {
 		for {
 			c := m.Coord(cur)
-			pos, size := c.X, m.w
-			if !horizontal {
+			var pos, size int
+			switch ax {
+			case axisX:
+				pos, size = c.X, m.w
+			case axisY:
 				pos, size = c.Y, m.h
+			case axisZ:
+				pos, size = c.Z, m.d
 			}
 			if pos == target {
 				return
 			}
-			dir := chooseDir(pos, target, size, m.kind == KindTorus, horizontal)
+			dir := chooseDir(pos, target, size, m.kind == KindTorus, ax)
 			nt, ok := m.step(cur, dir)
 			if !ok {
 				// Unreachable on well-formed grids; guard keeps the loop finite.
@@ -82,12 +157,15 @@ func (m *Mesh) Route(algo RoutingAlgo, src, dst TileID) (Route, error) {
 		}
 	}
 	dc := m.Coord(dst)
-	if algo == RouteXY {
-		stepDim(dc.X, true)
-		stepDim(dc.Y, false)
-	} else {
-		stepDim(dc.Y, false)
-		stepDim(dc.X, true)
+	for _, ax := range algo.order() {
+		switch ax {
+		case axisX:
+			stepDim(dc.X, axisX)
+		case axisY:
+			stepDim(dc.Y, axisY)
+		case axisZ:
+			stepDim(dc.Z, axisZ)
+		}
 	}
 	return Route{Tiles: tiles}, nil
 }
@@ -95,8 +173,8 @@ func (m *Mesh) Route(algo RoutingAlgo, src, dst TileID) (Route, error) {
 // chooseDir picks the direction that moves pos towards target in a
 // dimension of the given size, using wrap-around when beneficial on a
 // torus.
-func chooseDir(pos, target, size int, torus, horizontal bool) Direction {
-	fwd := target - pos // positive means East (or South)
+func chooseDir(pos, target, size int, torus bool, ax axis) Direction {
+	fwd := target - pos // positive means East (or South, or Down)
 	if torus {
 		alt := fwd
 		if fwd > 0 {
@@ -108,11 +186,17 @@ func chooseDir(pos, target, size int, torus, horizontal bool) Direction {
 			fwd = alt
 		}
 	}
-	if horizontal {
+	switch ax {
+	case axisX:
 		if fwd > 0 {
 			return East
 		}
 		return West
+	case axisZ:
+		if fwd > 0 {
+			return Down
+		}
+		return Up
 	}
 	if fwd > 0 {
 		return South

@@ -1,50 +1,236 @@
 package topology
 
-import "testing"
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
 
-// TestRouteKSymmetric pins the invariant the incremental CWM evaluator
-// (internal/core/cwm_delta.go) builds on: for the minimal XY/YX routings
-// on both mesh and torus, the router count K of a route is independent of
-// its direction and equals MinHops+1. The delta path prices an edge's
-// route from whichever endpoint moved, so a direction-dependent K would
-// silently break its bit-identity with full recomputes.
-func TestRouteKSymmetric(t *testing.T) {
-	for _, tc := range []struct {
-		w, h  int
-		torus bool
-	}{
-		{2, 2, false}, {3, 3, false}, {4, 3, false}, {8, 8, false}, {5, 2, false},
-		{3, 3, true}, {4, 4, true}, {5, 3, true},
-	} {
-		var m *Mesh
-		var err error
-		if tc.torus {
-			m, err = NewTorus(tc.w, tc.h)
-		} else {
-			m, err = NewMesh(tc.w, tc.h)
-		}
+// This file pins the routing invariants the incremental CWM evaluator
+// (internal/core/cwm_delta.go) builds on, as properties over randomly
+// sampled (topology, algorithm, src, dst) instances across mesh/torus ×
+// 2-D/3-D instead of hand-picked cases:
+//
+//   - routes are minimal: Hops == MinHops, so K = MinHops+1;
+//   - routes are dimension-ordered (deadlock-free): each algorithm
+//     resolves its dimensions in a fixed order, never interleaving, and
+//     each dimension moves in a single direction (no U-turns, single wrap
+//     direction on a torus);
+//   - K is direction-symmetric: K(a,b) == K(b,a) — the delta path prices
+//     an edge from whichever endpoint moved;
+//   - K totals are invariant under tile permutation: relabelling tiles
+//     permutes the pair set, so Σ K over all ordered pairs cannot change.
+//     A K that secretly depended on tile IDs (a stale cache row, an
+//     ID-ordered tie-break) would break this and silently desynchronise
+//     incremental pricing from full recomputes.
+
+// propertyGrids returns the sampled topology matrix: mesh and torus, 2-D
+// and 3-D, square and ragged, including degenerate 1-wide shapes.
+func propertyGrids(t *testing.T) map[string]*Mesh {
+	t.Helper()
+	grids := make(map[string]*Mesh)
+	add := func(name string, m *Mesh, err error) {
 		if err != nil {
-			t.Fatal(err)
+			t.Fatalf("%s: %v", name, err)
 		}
-		for _, algo := range []RoutingAlgo{RouteXY, RouteYX} {
-			for a := 0; a < m.NumTiles(); a++ {
-				for b := 0; b < m.NumTiles(); b++ {
-					fwd, err := m.Route(algo, TileID(a), TileID(b))
-					if err != nil {
-						t.Fatal(err)
+		grids[name] = m
+	}
+	for _, dims := range [][3]int{
+		{2, 2, 1}, {3, 3, 1}, {4, 3, 1}, {8, 8, 1}, {5, 2, 1}, {1, 6, 1},
+		{2, 2, 2}, {3, 3, 2}, {2, 2, 4}, {4, 4, 2}, {3, 2, 3}, {1, 1, 5},
+	} {
+		m, err := NewMesh3D(dims[0], dims[1], dims[2])
+		add(m.kindDims("mesh"), m, err)
+		mt, err := NewTorus3D(dims[0], dims[1], dims[2])
+		add(mt.kindDims("torus"), mt, err)
+	}
+	return grids
+}
+
+func (m *Mesh) kindDims(kind string) string {
+	return fmt.Sprintf("%s-%dx%dx%d", kind, m.w, m.h, m.d)
+}
+
+var propertyAlgos = []RoutingAlgo{RouteXY, RouteYX, RouteXYZ, RouteZYX}
+
+// axisOf classifies one route step by the axis it moved along, and
+// verifies it moved by exactly one hop (wrap included).
+func axisOf(t *testing.T, m *Mesh, from, to TileID) axis {
+	t.Helper()
+	cf, ct := m.Coord(from), m.Coord(to)
+	moved := -1
+	var ax axis
+	check := func(a, b, size int, which axis) {
+		if a == b {
+			return
+		}
+		d := m.dimDist(a, b, size)
+		if d != 1 {
+			t.Fatalf("step %v->%v moves %d hops along one axis", from, to, d)
+		}
+		if moved >= 0 {
+			t.Fatalf("step %v->%v moves along two axes", from, to)
+		}
+		moved = 1
+		ax = which
+	}
+	check(cf.X, ct.X, m.w, axisX)
+	check(cf.Y, ct.Y, m.h, axisY)
+	check(cf.Z, ct.Z, m.d, axisZ)
+	if moved < 0 {
+		t.Fatalf("step %v->%v moves along no axis", from, to)
+	}
+	return ax
+}
+
+// TestRoutePropertyMinimalDimensionOrdered samples random endpoint pairs
+// on every grid/algorithm combination and checks minimality, contiguity
+// and strict dimension order.
+func TestRoutePropertyMinimalDimensionOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for name, m := range propertyGrids(t) {
+		for _, algo := range propertyAlgos {
+			order := algo.order()
+			rank := map[axis]int{order[0]: 0, order[1]: 1, order[2]: 2}
+			for trial := 0; trial < 60; trial++ {
+				src := TileID(rng.Intn(m.NumTiles()))
+				dst := TileID(rng.Intn(m.NumTiles()))
+				r, err := m.Route(algo, src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Tiles[0] != src || r.Tiles[len(r.Tiles)-1] != dst {
+					t.Fatalf("%s %v: route %v does not span %d->%d", name, algo, r.Tiles, src, dst)
+				}
+				if r.Hops() != m.MinHops(src, dst) {
+					t.Fatalf("%s %v %d->%d: %d hops, MinHops %d (not minimal)",
+						name, algo, src, dst, r.Hops(), m.MinHops(src, dst))
+				}
+				lastRank := -1
+				dirPerAxis := map[axis]Direction{}
+				for i := 0; i+1 < len(r.Tiles); i++ {
+					if _, ok := m.LinkIndex(r.Tiles[i], r.Tiles[i+1]); !ok {
+						t.Fatalf("%s %v: route step %d->%d is not a link", name, algo, r.Tiles[i], r.Tiles[i+1])
 					}
-					rev, err := m.Route(algo, TileID(b), TileID(a))
-					if err != nil {
-						t.Fatal(err)
+					ax := axisOf(t, m, r.Tiles[i], r.Tiles[i+1])
+					if rank[ax] < lastRank {
+						t.Fatalf("%s %v %d->%d: route %v interleaves dimensions (axis %d after %d)",
+							name, algo, src, dst, r.Tiles, ax, lastRank)
 					}
-					if fwd.K() != rev.K() {
-						t.Fatalf("%dx%d torus=%v %v: K(%d,%d)=%d but K(%d,%d)=%d",
-							tc.w, tc.h, tc.torus, algo, a, b, fwd.K(), b, a, rev.K())
+					lastRank = rank[ax]
+					// Deadlock-free dimension-ordered routing also never
+					// reverses within a dimension: one direction per axis.
+					var dir Direction
+					for d := East; d <= Up; d++ {
+						if nt, ok := m.step(r.Tiles[i], d); ok && nt == r.Tiles[i+1] {
+							dir = d
+							break
+						}
 					}
-					if want := m.MinHops(TileID(a), TileID(b)) + 1; fwd.K() != want {
-						t.Fatalf("%dx%d torus=%v %v: K(%d,%d)=%d, MinHops+1=%d (routing not minimal?)",
-							tc.w, tc.h, tc.torus, algo, a, b, fwd.K(), want)
+					if prev, seen := dirPerAxis[ax]; seen && prev != dir {
+						t.Fatalf("%s %v %d->%d: route reverses axis %d (%v then %v)",
+							name, algo, src, dst, ax, prev, dir)
 					}
+					dirPerAxis[ax] = dir
+				}
+			}
+		}
+	}
+}
+
+// TestRouteKSymmetric pins the K invariants: for every minimal
+// dimension-ordered routing on mesh and torus (2-D and 3-D), the router
+// count K of a route is independent of its direction and equals
+// MinHops+1, and the vertical hop count matches VerticalHops. The delta
+// path prices an edge's route from whichever endpoint moved, so a
+// direction-dependent K would silently break its bit-identity with full
+// recomputes.
+func TestRouteKSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for name, m := range propertyGrids(t) {
+		n := m.NumTiles()
+		for _, algo := range propertyAlgos {
+			pairs := make([][2]TileID, 0, 120)
+			if n <= 12 { // exhaust small grids, sample large ones
+				for a := 0; a < n; a++ {
+					for b := 0; b < n; b++ {
+						pairs = append(pairs, [2]TileID{TileID(a), TileID(b)})
+					}
+				}
+			} else {
+				for i := 0; i < 120; i++ {
+					pairs = append(pairs, [2]TileID{TileID(rng.Intn(n)), TileID(rng.Intn(n))})
+				}
+			}
+			for _, pr := range pairs {
+				a, b := pr[0], pr[1]
+				fwd, err := m.Route(algo, a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rev, err := m.Route(algo, b, a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fwd.K() != rev.K() {
+					t.Fatalf("%s %v: K(%d,%d)=%d but K(%d,%d)=%d", name, algo, a, b, fwd.K(), b, a, rev.K())
+				}
+				if want := m.MinHops(a, b) + 1; fwd.K() != want {
+					t.Fatalf("%s %v: K(%d,%d)=%d, MinHops+1=%d (routing not minimal?)",
+						name, algo, a, b, fwd.K(), want)
+				}
+				vhops := 0
+				for i := 0; i+1 < len(fwd.Tiles); i++ {
+					li, _ := m.LinkIndex(fwd.Tiles[i], fwd.Tiles[i+1])
+					if m.LinkVertical(li) {
+						vhops++
+					}
+				}
+				if vhops != m.VerticalHops(a, b) {
+					t.Fatalf("%s %v: route %d->%d crosses %d TSVs, VerticalHops says %d",
+						name, algo, a, b, vhops, m.VerticalHops(a, b))
+				}
+			}
+		}
+	}
+}
+
+// TestRouteKTotalPermutationInvariant checks the aggregate form of the
+// symmetry invariant: Σ K(a,b) over all ordered tile pairs is unchanged
+// when the pairs are visited through a random tile permutation — K must
+// be a pure function of the pair, never of tile identity or probe order.
+func TestRouteKTotalPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	for name, m := range propertyGrids(t) {
+		n := m.NumTiles()
+		if n > 36 {
+			continue // all-pairs walks; keep the matrix cheap
+		}
+		for _, algo := range propertyAlgos {
+			kOf := func(a, b TileID) int {
+				r, err := m.Route(algo, a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r.K()
+			}
+			var total int
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					total += kOf(TileID(a), TileID(b))
+				}
+			}
+			for trial := 0; trial < 3; trial++ {
+				perm := rng.Perm(n)
+				var permuted int
+				for a := 0; a < n; a++ {
+					for b := 0; b < n; b++ {
+						permuted += kOf(TileID(perm[a]), TileID(perm[b]))
+					}
+				}
+				if permuted != total {
+					t.Fatalf("%s %v: K total %d changed to %d under tile permutation",
+						name, algo, total, permuted)
 				}
 			}
 		}

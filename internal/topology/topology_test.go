@@ -263,3 +263,29 @@ func TestTilePanicsOutOfRange(t *testing.T) {
 	}()
 	m.Tile(5, 5)
 }
+
+func TestParseGridSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		w, h, d int
+	}{
+		{"3x2", 3, 2, 1},
+		{"3X2", 3, 2, 1},
+		{"2x2x4", 2, 2, 4},
+		{"10x12x3", 10, 12, 3},
+	}
+	for _, tc := range cases {
+		w, h, d, err := ParseGridSpec(tc.spec)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.spec, err)
+		}
+		if w != tc.w || h != tc.h || d != tc.d {
+			t.Errorf("%q = %dx%dx%d, want %dx%dx%d", tc.spec, w, h, d, tc.w, tc.h, tc.d)
+		}
+	}
+	for _, spec := range []string{"", "3", "ax2", "3xb", "0x4", "2x-2", "4x4junk", "2x2x4.5", " 2x2", "2x2x2x2"} {
+		if _, _, _, err := ParseGridSpec(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

@@ -85,16 +85,21 @@ func AnnotateCWM(mesh *topology.Mesh, g *model.CWG, mp mapping.Mapping,
 	occ := mp.Occupants(mesh.NumTiles())
 	var b strings.Builder
 	b.WriteString("CWM cost variables (bits through each resource):\n")
-	for y := 0; y < mesh.H(); y++ {
-		for x := 0; x < mesh.W(); x++ {
-			t := mesh.Tile(x, y)
-			who := "-"
-			if occ[t] != mapping.Unassigned {
-				who = g.CoreName(occ[t])
-			}
-			fmt.Fprintf(&b, "  [%s %s:%d]", mesh.TileName(t), who, routerBits[t])
+	for z := 0; z < mesh.D(); z++ {
+		if mesh.D() > 1 {
+			fmt.Fprintf(&b, "  layer %d:\n", z)
 		}
-		b.WriteByte('\n')
+		for y := 0; y < mesh.H(); y++ {
+			for x := 0; x < mesh.W(); x++ {
+				t := mesh.TileAt(x, y, z)
+				who := "-"
+				if occ[t] != mapping.Unassigned {
+					who = g.CoreName(occ[t])
+				}
+				fmt.Fprintf(&b, "  [%s %s:%d]", mesh.TileName(t), who, routerBits[t])
+			}
+			b.WriteByte('\n')
+		}
 	}
 	b.WriteString("links:\n")
 	for li, bits := range linkBits {
@@ -237,16 +242,21 @@ func MappingGrid(mesh *topology.Mesh, names func(model.CoreID) string, mp mappin
 		}
 	}
 	var b strings.Builder
-	for y := 0; y < mesh.H(); y++ {
-		for x := 0; x < mesh.W(); x++ {
-			t := mesh.Tile(x, y)
-			label := "-"
-			if occ[t] != mapping.Unassigned {
-				label = names(occ[t])
-			}
-			fmt.Fprintf(&b, "[%-*s]", width, label)
+	for z := 0; z < mesh.D(); z++ {
+		if mesh.D() > 1 {
+			fmt.Fprintf(&b, "layer %d:\n", z)
 		}
-		b.WriteByte('\n')
+		for y := 0; y < mesh.H(); y++ {
+			for x := 0; x < mesh.W(); x++ {
+				t := mesh.TileAt(x, y, z)
+				label := "-"
+				if occ[t] != mapping.Unassigned {
+					label = names(occ[t])
+				}
+				fmt.Fprintf(&b, "[%-*s]", width, label)
+			}
+			b.WriteByte('\n')
+		}
 	}
 	return b.String()
 }

@@ -20,12 +20,12 @@ type ResourceKind int
 // OUTPUT port. (The paper's Figure 3(a) shows A→B and B→F overlapping in
 // router τ1 — different outputs — while A→F stalls behind B→F, which holds
 // the same τ1→τ3 output.) KindRouterPort is therefore the exclusive
-// resource: index = tile*NumPorts + direction, with direction 0..3 the
-// topology directions and 4 the local (core) port. KindRouter is the
-// display view of a router: the union of its ports' traffic, each span
-// stretched back to the packet's arrival (time spent waiting in the input
-// buffer included), exactly like the paper's router annotations; those
-// spans may overlap.
+// resource: index = tile*NumPorts + direction, with direction 0..5 the
+// topology directions (E, W, S, N plus the vertical Down/Up of 3-D grids)
+// and 6 the local (core) port. KindRouter is the display view of a
+// router: the union of its ports' traffic, each span stretched back to
+// the packet's arrival (time spent waiting in the input buffer included),
+// exactly like the paper's router annotations; those spans may overlap.
 //
 // CoreOut is the link from an IP core into its local router; CoreIn the
 // link from a router down to its core. They are distinct full-duplex
@@ -39,11 +39,14 @@ const (
 	KindCoreIn
 )
 
-// NumPorts is the number of output ports per router: E, W, S, N, Local.
-const NumPorts = 5
+// NumPorts is the number of output ports per router:
+// E, W, S, N, Down, Up, Local. 2-D routers simply never book the two
+// vertical ports, so the port-index layout is uniform across 2-D and 3-D
+// grids.
+const NumPorts = 7
 
 // LocalPort is the output-port index of the router→core direction.
-const LocalPort = 4
+const LocalPort = 6
 
 func (k ResourceKind) String() string {
 	switch k {
@@ -99,6 +102,10 @@ type Result struct {
 	// CoreBits is the total bit volume over core↔router links (2 per
 	// packet; feeds the optional ECbit term).
 	CoreBits int64
+	// TSVBits is the subset of the LinkBits total that crossed vertical
+	// (TSV) links — always zero on depth-1 grids. It feeds the ETSVbit
+	// term of the 3-D energy model.
+	TSVBits int64
 	// TotalContention is the sum of all packet contention delays.
 	TotalContention int64
 
@@ -155,7 +162,10 @@ type Simulator struct {
 	// rendering (Figure 3/4/5 style output). Leave false in search loops.
 	RecordOccupancy bool
 
-	dg          *graph.Digraph
+	dg *graph.Digraph
+	// vertLink[li] marks vertical (TSV) links; nil on depth-1 grids so
+	// the 2-D hot loop pays one nil check, nothing more.
+	vertLink    []bool
 	ports       []busyList
 	links       []busyList
 	coreOut     []busyList
@@ -177,6 +187,7 @@ type hopPlan struct {
 	t      int64 // acquisition time
 	stall  int64 // t - arrival (only >0 on arbitrated resources)
 	hold   int64 // busy through [t, t+hold]
+	rate   int64 // per-flit cycles of the hop (tl, or tlv on a TSV link)
 	isPort bool  // router output port (where input buffering happens)
 }
 
@@ -187,7 +198,7 @@ type hopPlan struct {
 // the plan and booked by the commit pass after backpressure extensions.
 // Unarbitrated resources acquire at arrival regardless of existing
 // bookings.
-func (s *Simulator) plan(list *busyList, arrival, hold int64, arbitrated, isPort bool, pkt model.PacketID) int64 {
+func (s *Simulator) plan(list *busyList, arrival, hold, rate int64, arbitrated, isPort bool, pkt model.PacketID) int64 {
 	if s.Cfg.Buffers != noc.BuffersBounded {
 		if arbitrated {
 			return list.acquire(arrival, hold, pkt)
@@ -199,7 +210,7 @@ func (s *Simulator) plan(list *busyList, arrival, hold int64, arbitrated, isPort
 	if arbitrated {
 		t = list.earliestFree(arrival, hold)
 	}
-	s.hops = append(s.hops, hopPlan{list: list, t: t, stall: t - arrival, hold: hold, isPort: isPort})
+	s.hops = append(s.hops, hopPlan{list: list, t: t, stall: t - arrival, hold: hold, rate: rate, isPort: isPort})
 	return t
 }
 
@@ -216,10 +227,20 @@ func (s *Simulator) applyBackpressure(tl int64) {
 	if s.Cfg.Buffers != noc.BuffersBounded {
 		return
 	}
-	capCycles := s.Cfg.BufferFlits * tl
 	for i := range s.hops {
 		hp := &s.hops[i]
-		if !hp.isPort || hp.stall <= capCycles {
+		if !hp.isPort {
+			continue
+		}
+		// The buffer fills at the rate flits arrive over the feeding hop
+		// (the upstream link, or tl off the source core), so a buffer
+		// downstream of a slow TSV link absorbs proportionally more stall.
+		feedRate := tl
+		if i > 0 && !s.hops[i-1].isPort {
+			feedRate = s.hops[i-1].rate
+		}
+		capCycles := s.Cfg.BufferFlits * feedRate
+		if hp.stall <= capCycles {
 			continue
 		}
 		overflow := hp.stall - capCycles
@@ -251,6 +272,12 @@ func NewSimulator(mesh *topology.Mesh, cfg noc.Config, g *model.CDCG) (*Simulato
 	}
 	s := &Simulator{Mesh: mesh, Cfg: cfg, G: g, dg: dg}
 	n := mesh.NumTiles()
+	if mesh.D() > 1 {
+		s.vertLink = make([]bool, mesh.NumLinks())
+		for i := range s.vertLink {
+			s.vertLink[i] = mesh.LinkVertical(i)
+		}
+	}
 	s.ports = make([]busyList, n*NumPorts)
 	s.links = make([]busyList, mesh.NumLinks())
 	s.coreOut = make([]busyList, n)
@@ -288,7 +315,7 @@ func (s *Simulator) portIndex(from, to topology.TileID) (int, error) {
 	if from == to {
 		return int(from)*NumPorts + LocalPort, nil
 	}
-	for d := topology.East; d <= topology.North; d++ {
+	for d := topology.East; d <= topology.Up; d++ {
 		if nt, ok := s.Mesh.Neighbor(from, d); ok && nt == to {
 			return int(from)*NumPorts + int(d), nil
 		}
@@ -335,6 +362,7 @@ func (s *Simulator) Run(mp mapping.Mapping) (*Result, error) {
 	}
 
 	tr, tl := s.Cfg.RoutingCycles, s.Cfg.LinkCycles
+	tlv := s.Cfg.TSVCycles() // per-flit vertical (TSV) hop time; unused on depth-1 grids
 	scheduled := 0
 	for s.heap.len() > 0 {
 		k := s.heap.pop()
@@ -346,6 +374,10 @@ func (s *Simulator) Run(mp mapping.Mapping) (*Result, error) {
 
 		linkHold := nFlits * tl
 		portHold := tr + (nFlits-1)*tl
+		// Vertical hops stream flits at the TSV rate: both the link
+		// occupancy and the output port feeding it scale with tlv.
+		vLinkHold := nFlits * tlv
+		vPortHold := tr + (nFlits-1)*tlv
 
 		// Plan pass: walk the route head-first, computing acquisition
 		// times without booking anything (the hops of one packet touch
@@ -357,7 +389,7 @@ func (s *Simulator) Run(mp mapping.Mapping) (*Result, error) {
 		// Source core -> local router link. Core links are timed but not
 		// arbitrated under the paper's CRG semantics (ArbitrateLocal
 		// false); see noc.Config.ArbitrateLocal.
-		t := s.plan(&s.coreOut[srcTile], h, linkHold, s.Cfg.ArbitrateLocal, false, k.id)
+		t := s.plan(&s.coreOut[srcTile], h, linkHold, tl, s.Cfg.ArbitrateLocal, false, k.id)
 		contention += t - h
 		h = t + tl
 
@@ -374,11 +406,31 @@ func (s *Simulator) Run(mp mapping.Mapping) (*Result, error) {
 				return nil, err
 			}
 			local := next == tile
+			// Resolve the outgoing link (and whether it is a TSV) before
+			// booking the port: a port feeding a vertical link streams its
+			// flits at the TSV rate, so its hold time follows the link's.
+			li, vert := -1, false
+			pHold := portHold
+			if !local {
+				var ok bool
+				li, ok = s.Mesh.LinkIndex(tile, next)
+				if !ok {
+					return nil, fmt.Errorf("wormhole: route step %d->%d is not a link", tile, next)
+				}
+				if s.vertLink != nil && s.vertLink[li] {
+					vert = true
+					pHold = vPortHold
+				}
+			}
 			// Paper-faithful: the local output port is timed but not
 			// arbitrated (Figure 3(b) shows overlapping deliveries).
-			t = s.plan(&s.ports[pi], h, portHold, !local || s.Cfg.ArbitrateLocal, true, k.id)
+			pRate := tl
+			if vert {
+				pRate = tlv
+			}
+			t = s.plan(&s.ports[pi], h, pHold, pRate, !local || s.Cfg.ArbitrateLocal, true, k.id)
 			contention += t - h
-			portEnd := t + portHold
+			portEnd := t + pHold
 			h = t + tr
 			res.RouterBits[tile] += pkt.Bits
 			if s.RecordOccupancy {
@@ -387,19 +439,22 @@ func (s *Simulator) Run(mp mapping.Mapping) (*Result, error) {
 				s.routerSpans[tile].iv = append(s.routerSpans[tile].iv,
 					Occupancy{Packet: k.id, Start: arrival, End: portEnd})
 			}
-			if i+1 < len(tiles) {
-				li, ok := s.Mesh.LinkIndex(tile, tiles[i+1])
-				if !ok {
-					return nil, fmt.Errorf("wormhole: route step %d->%d is not a link", tile, tiles[i+1])
+			if !local {
+				lHold, adv := linkHold, tl
+				if vert {
+					lHold, adv = vLinkHold, tlv
 				}
-				t = s.plan(&s.links[li], h, linkHold, true, false, k.id)
+				t = s.plan(&s.links[li], h, lHold, adv, true, false, k.id)
 				contention += t - h
-				h = t + tl
+				h = t + adv
 				res.LinkBits[li] += pkt.Bits
+				if vert {
+					res.TSVBits += pkt.Bits
+				}
 			} else {
 				// Local router -> destination core link; delivery is when
 				// the last flit crosses it.
-				t = s.plan(&s.coreIn[dstTile], h, linkHold, s.Cfg.ArbitrateLocal, false, k.id)
+				t = s.plan(&s.coreIn[dstTile], h, linkHold, tl, s.Cfg.ArbitrateLocal, false, k.id)
 				contention += t - h
 				delivered = t + linkHold
 			}
