@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// startDaemon runs the daemon exactly as main wires it (minus the signal
+// registration) and returns its base URL, the signal channel and the exit
+// channel.
+func startDaemon(t *testing.T) (url string, stop chan os.Signal, exited chan error) {
+	t.Helper()
+	stop = make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	exited = make(chan error, 1)
+	go func() {
+		exited <- run("127.0.0.1:0", 2, 16, 32, 30*time.Second, stop, io.Discard, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, stop, exited
+	case err := <-exited:
+		t.Fatalf("daemon died on startup: %v", err)
+		return "", nil, nil
+	}
+}
+
+func postJSON(t *testing.T, url, body string) service.JobStatus {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		t.Fatalf("POST: status %d", resp.StatusCode)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestDaemonEndToEndAndSIGTERMDrain(t *testing.T) {
+	url, stop, exited := startDaemon(t)
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// One fast end-to-end job.
+	st := postJSON(t, url, `{"demo":true,"mesh":"2x2","model":"cwm","method":"sa","seed":3}`)
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State != service.StateSucceeded {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		r, err := http.Get(url + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if len(st.Result) == 0 {
+		t.Fatal("succeeded job without result")
+	}
+
+	// Put a few-hundred-millisecond job in flight, then SIGTERM: the
+	// daemon must drain it (service.TestShutdownDrainsInFlightJobs pins
+	// that it completes rather than dies) and exit cleanly while busy.
+	postJSON(t, url, `{"demo":true,"mesh":"2x2","model":"cdcm","method":"sa",
+		"temp_steps":300,"moves_per_temp":400,"stall_steps":300}`)
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never exited after SIGTERM")
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("daemon still serving after SIGTERM")
+	}
+}
+
+func TestDaemonRejectsBadListenAddr(t *testing.T) {
+	stop := make(chan os.Signal, 1)
+	if err := run("256.256.256.256:1", 1, 1, 1, time.Second, stop, io.Discard, nil); err == nil {
+		t.Fatal("invalid listen address accepted")
+	}
+}
+
+func TestDaemonServesMetrics(t *testing.T) {
+	url, stop, exited := startDaemon(t)
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := m["jobs_submitted"]; !ok {
+		t.Errorf("metrics missing jobs_submitted: %v", m)
+	}
+	stop <- syscall.SIGTERM
+	if err := <-exited; err != nil {
+		t.Fatal(err)
+	}
+}

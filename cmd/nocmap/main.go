@@ -2,10 +2,14 @@
 // or 3-D.
 //
 // The application is a CDCG in JSON (see internal/model; cmd/nocgen
-// produces them), or the built-in paper example with -demo. Examples:
+// produces them) or in the line-oriented text format, or the built-in
+// paper example with -demo. Input format is sniffed from the content by
+// default (-format auto), so extension-less and piped files work; -app -
+// reads standard input. Examples:
 //
 //	nocmap -app app.json -mesh 3x3 -model cdcm -method sa -seed 7 -gantt
 //	nocmap -app app.json -mesh 2x2x4 -routing xyz -model cdcm
+//	nocgen -seed 3 | nocmap -app - -json
 //
 // The first explores a 3x3 mesh under the CDCM objective with simulated
 // annealing and prints the winning mapping, its metrics and a timing
@@ -13,6 +17,11 @@
 // XYZ routing (vertical TSV links priced by the 3-D energy/latency
 // profile). -depth D stacks a planar -mesh into D layers; -topology torus
 // wraps every dimension.
+//
+// -json emits the machine-readable result instead of the human report —
+// the exact schema the nocd daemon serves (internal/service.Result), so
+// CLI runs and daemon jobs are directly comparable; for a fixed instance
+// and seed the result object is byte-identical between the two.
 //
 // Explorations under -model cwm price candidate swaps incrementally
 // (search.DeltaObjective: O(deg) per proposed move instead of re-walking
@@ -22,130 +31,156 @@
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/core"
-	"repro/internal/energy"
 	"repro/internal/model"
-	"repro/internal/noc"
+	"repro/internal/service"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
+// options collects the CLI flags; run is kept flag-free so tests drive it
+// directly.
+type options struct {
+	appPath  string
+	demo     bool
+	mesh     string
+	topo     string
+	depth    int
+	model    string
+	method   string
+	tech     string
+	routing  string
+	seed     int64
+	gantt    bool
+	annotate bool
+	jsonOut  bool
+	format   string
+	flits    int
+	restarts int
+	workers  int
+	stdin    io.Reader
+	stdout   io.Writer
+}
+
 func main() {
-	var (
-		appPath  = flag.String("app", "", "CDCG JSON file (or use -demo)")
-		demo     = flag.Bool("demo", false, "use the paper's Figure-1 example application")
-		meshSpec = flag.String("mesh", "", "grid dimensions WxH or WxHxD (default: smallest square fitting the cores)")
-		depth    = flag.Int("depth", 0, "stack a WxH -mesh into D layers (alternative to the WxHxD spec; 0 = 1 layer)")
-		topo     = flag.String("topology", "mesh", "grid family: mesh or torus")
-		modelSel = flag.String("model", "cdcm", "mapping model: cwm or cdcm")
-		method   = flag.String("method", "sa", "search method: sa, es, random, hill, tabu")
-		seed     = flag.Int64("seed", 1, "search seed")
-		techSel  = flag.String("tech", "0.07um", "technology profile: 0.35um, 0.07um or paper")
-		routing  = flag.String("routing", "xy", "routing algorithm: xy, yx, xyz or zyx")
-		gantt    = flag.Bool("gantt", false, "print the timing diagram of the winning mapping")
-		annotate = flag.Bool("annotate", false, "print per-resource occupancy annotations")
-		flits    = flag.Int("flitbits", 1, "link width in bits per flit")
-		restarts = flag.Int("restarts", 1, "independent SA restarts (seeds seed..seed+n-1, best wins)")
-		workers  = flag.Int("workers", runtime.NumCPU(), "parallel worker goroutines (results are seed-deterministic for any value)")
-	)
+	var o options
+	flag.StringVar(&o.appPath, "app", "", "CDCG file, - for stdin (or use -demo)")
+	flag.BoolVar(&o.demo, "demo", false, "use the paper's Figure-1 example application")
+	flag.StringVar(&o.mesh, "mesh", "", "grid dimensions WxH or WxHxD (default: smallest square fitting the cores)")
+	flag.IntVar(&o.depth, "depth", 0, "stack a WxH -mesh into D layers (alternative to the WxHxD spec; 0 = 1 layer)")
+	flag.StringVar(&o.topo, "topology", "mesh", "grid family: mesh or torus")
+	flag.StringVar(&o.model, "model", "cdcm", "mapping model: cwm or cdcm")
+	flag.StringVar(&o.method, "method", "sa", "search method: sa, es, random, hill, tabu")
+	flag.Int64Var(&o.seed, "seed", 1, "search seed")
+	flag.StringVar(&o.tech, "tech", "0.07um", "technology profile: 0.35um, 0.07um or paper")
+	flag.StringVar(&o.routing, "routing", "xy", "routing algorithm: xy, yx, xyz or zyx")
+	flag.BoolVar(&o.gantt, "gantt", false, "print the timing diagram of the winning mapping")
+	flag.BoolVar(&o.annotate, "annotate", false, "print per-resource occupancy annotations")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit the machine-readable result (same schema as the nocd daemon)")
+	flag.StringVar(&o.format, "format", "auto", "input format of -app: auto (content sniffing), json or text")
+	flag.IntVar(&o.flits, "flitbits", 1, "link width in bits per flit")
+	flag.IntVar(&o.restarts, "restarts", 1, "independent SA restarts (seeds seed..seed+n-1, best wins)")
+	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "parallel worker goroutines (results are seed-deterministic for any value)")
 	flag.Parse()
-	if err := run(*appPath, *demo, *meshSpec, *topo, *depth, *modelSel, *method, *techSel, *routing,
-		*seed, *gantt, *annotate, *flits, *restarts, *workers); err != nil {
+	o.stdin = os.Stdin
+	o.stdout = os.Stdout
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "nocmap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(appPath string, demo bool, meshSpec, topo string, depth int, modelSel, method, techSel, routing string,
-	seed int64, gantt, annotate bool, flits, restarts, workers int) error {
-
+func run(o options) error {
+	if o.stdout == nil {
+		o.stdout = os.Stdout
+	}
+	if o.jsonOut && (o.gantt || o.annotate) {
+		return fmt.Errorf("-json cannot be combined with -gantt or -annotate (diagrams are not part of the JSON schema)")
+	}
+	switch o.format {
+	case "", "auto", "json", "text":
+	default:
+		// Validated up front so a typo surfaces even on the -demo path,
+		// which never reads an input file.
+		return fmt.Errorf("unknown -format %q (want auto, json or text)", o.format)
+	}
 	var g *model.CDCG
+	var err error
 	switch {
-	case demo:
+	case o.demo:
 		g = model.PaperExampleCDCG()
-	case appPath != "":
-		f, err := os.Open(appPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		// JSON by extension; the line-oriented text format otherwise
-		// (see internal/model/text.go for its grammar).
-		if strings.HasSuffix(appPath, ".json") {
-			g, err = model.ReadCDCG(f)
-		} else {
-			g, err = model.ParseText(f)
-		}
-		if err != nil {
+	case o.appPath != "":
+		if g, err = readApp(o.appPath, o.format, o.stdin); err != nil {
 			return err
 		}
 	default:
 		return fmt.Errorf("need -app FILE or -demo")
 	}
 
-	mesh, err := parseMesh(meshSpec, topo, depth, g.NumCores())
+	// Resolve flags exactly like a daemon request — one shared validation
+	// and defaulting path for CLI and service.
+	req := service.Request{
+		App:      g,
+		Mesh:     o.mesh,
+		Topology: o.topo,
+		Depth:    o.depth,
+		Routing:  o.routing,
+		FlitBits: o.flits,
+		Tech:     o.tech,
+		Model:    o.model,
+		Method:   o.method,
+		Seed:     o.seed,
+		Restarts: o.restarts,
+		Workers:  o.workers,
+	}
+	in, err := req.Resolve()
+	if err != nil {
+		// The service prefix is HTTP-facing noise on a CLI.
+		return errors.New(strings.TrimPrefix(err.Error(), service.ErrBadRequest.Error()+": "))
+	}
+
+	start := time.Now()
+	res, err := in.Explore(nil, nil)
 	if err != nil {
 		return err
 	}
-	cfg := noc.Default()
-	cfg.FlitBits = flits
-	if cfg.Routing, err = topology.ParseRoutingAlgo(routing); err != nil {
-		return err
+	elapsed := time.Since(start)
+
+	if o.jsonOut {
+		return service.WriteCLI(o.stdout, service.NewResult(in, res), elapsed)
 	}
 
-	var tech energy.Tech
-	switch techSel {
-	case "0.35um":
-		tech = energy.Tech035
-	case "0.07um":
-		tech = energy.Tech007
-	case "paper":
-		tech = energy.PaperExample()
-	default:
-		return fmt.Errorf("unknown tech %q", techSel)
-	}
-
-	strategy, err := core.ParseStrategy(modelSel)
-	if err != nil {
-		return err
-	}
-	m, err := core.ParseMethod(method)
-	if err != nil {
-		return err
-	}
-
-	res, err := core.Explore(strategy, mesh, cfg, tech, g,
-		core.Options{Method: m, Seed: seed, Restarts: restarts, Workers: workers})
-	if err != nil {
-		return err
-	}
-
-	fmt.Printf("application: %s (%d cores, %d packets, %d bits)\n",
+	fmt.Fprintf(o.stdout, "application: %s (%d cores, %d packets, %d bits)\n",
 		appName(g), g.NumCores(), g.NumPackets(), g.TotalBits())
+	mesh := in.Mesh
 	dims := fmt.Sprintf("%dx%d", mesh.W(), mesh.H())
 	if mesh.D() > 1 {
 		dims = fmt.Sprintf("%dx%dx%d", mesh.W(), mesh.H(), mesh.D())
 	}
-	fmt.Printf("NoC: %s %s, %s routing, %d-bit flits; model %s, search %s (seed %d)\n",
-		dims, mesh.Kind(), cfg.Routing, cfg.FlitBits, strategy, m, seed)
-	fmt.Printf("evaluations: %d, best cost: %.6g pJ\n", res.Search.Evaluations, res.Search.BestCost*1e12)
-	fmt.Println("mapping:")
-	fmt.Print(trace.MappingGrid(mesh, g.CoreName, res.Best))
+	fmt.Fprintf(o.stdout, "NoC: %s %s, %s routing, %d-bit flits; model %s, search %s (seed %d)\n",
+		dims, mesh.Kind(), in.Cfg.Routing, in.Cfg.FlitBits, in.Strategy, in.Method, o.seed)
+	fmt.Fprintf(o.stdout, "evaluations: %d, best cost: %.6g pJ\n", res.Search.Evaluations, res.Search.BestCost*1e12)
+	fmt.Fprintln(o.stdout, "mapping:")
+	fmt.Fprint(o.stdout, trace.MappingGrid(mesh, g.CoreName, res.Best))
 	met := res.Metrics
-	fmt.Printf("texec = %d cycles (%.4g ns), contention = %d cycles\n",
+	fmt.Fprintf(o.stdout, "texec = %d cycles (%.4g ns), contention = %d cycles\n",
 		met.ExecCycles, met.ExecNS, met.ContentionCycles)
-	fmt.Printf("energy (%s): dynamic %.6g pJ + static %.6g pJ = %.6g pJ (static share %.1f %%)\n",
-		tech.Name, met.Energy.Dynamic*1e12, met.Energy.Static*1e12,
+	fmt.Fprintf(o.stdout, "energy (%s): dynamic %.6g pJ + static %.6g pJ = %.6g pJ (static share %.1f %%)\n",
+		in.Tech.Name, met.Energy.Dynamic*1e12, met.Energy.Static*1e12,
 		met.Total()*1e12, met.Energy.StaticShare()*100)
 
-	if gantt || annotate {
-		cdcm, err := core.NewCDCM(mesh, cfg, tech, g)
+	if o.gantt || o.annotate {
+		cdcm, err := core.NewCDCM(mesh, in.Cfg, in.Tech, g)
 		if err != nil {
 			return err
 		}
@@ -154,13 +189,13 @@ func run(appPath string, demo bool, meshSpec, topo string, depth int, modelSel, 
 		if err != nil {
 			return err
 		}
-		if gantt {
-			fmt.Println()
-			fmt.Print(trace.Gantt(g, cfg, raw, 100))
+		if o.gantt {
+			fmt.Fprintln(o.stdout)
+			fmt.Fprint(o.stdout, trace.Gantt(g, in.Cfg, raw, 100))
 		}
-		if annotate {
-			fmt.Println()
-			fmt.Print(trace.AnnotateSchedule(mesh, g, res.Best, raw))
+		if o.annotate {
+			fmt.Fprintln(o.stdout)
+			fmt.Fprint(o.stdout, trace.AnnotateSchedule(mesh, g, res.Best, raw))
 		}
 	}
 	return nil
@@ -173,59 +208,74 @@ func appName(g *model.CDCG) string {
 	return "(unnamed)"
 }
 
-// parseMesh parses "WxH" or "WxHxD" (optionally stacked deeper by the
-// -depth flag and wrapped by -topology torus), or picks the smallest
-// grid fitting the cores when spec is empty: near-square layers, spread
-// over -depth layers when given (so 16 cores with -depth 4 auto-size to
-// 2x2x4, not a 4x4 layer replicated 4 times).
-func parseMesh(spec, topo string, depth, cores int) (*topology.Mesh, error) {
-	torus := false
-	switch topo {
-	case "", "mesh":
-	case "torus":
-		torus = true
-	default:
-		return nil, fmt.Errorf("unknown topology %q (want mesh or torus)", topo)
+// readApp loads the application from a file or stdin ("-") in the given
+// format: "json", "text", or "auto"/"" — extension first (.json), then a
+// content sniff, so extension-less and piped files decode correctly.
+func readApp(path, format string, stdin io.Reader) (*model.CDCG, error) {
+	if path == "-" {
+		if stdin == nil {
+			stdin = os.Stdin
+		}
+		return decodeApp(stdin, "", format)
 	}
-	var w, h, d int
-	if spec == "" {
-		d = 1
-		if depth > 0 {
-			d = depth
-		}
-		perLayer := (cores + d - 1) / d
-		w = 1
-		for w*w < perLayer {
-			w++
-		}
-		h = w
-		for (h-1)*w >= perLayer {
-			h--
-		}
-	} else {
-		var err error
-		if w, h, d, err = topology.ParseGridSpec(spec); err != nil {
-			return nil, err
-		}
-		if depth > 0 {
-			if d > 1 && depth != d {
-				return nil, fmt.Errorf("-depth %d conflicts with mesh spec %q", depth, spec)
-			}
-			d = depth
-		}
-	}
-	var mesh *topology.Mesh
-	var err error
-	if torus {
-		mesh, err = topology.NewTorus3D(w, h, d)
-	} else {
-		mesh, err = topology.NewMesh3D(w, h, d)
-	}
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	if cores > mesh.NumTiles() {
-		return nil, fmt.Errorf("%d cores do not fit on %d tiles (%s)", cores, mesh.NumTiles(), spec)
+	defer f.Close()
+	return decodeApp(f, path, format)
+}
+
+func decodeApp(r io.Reader, name, format string) (*model.CDCG, error) {
+	switch format {
+	case "json":
+		return model.ReadCDCG(r)
+	case "text":
+		return model.ParseText(r)
+	case "", "auto":
+		if strings.HasSuffix(name, ".json") {
+			return model.ReadCDCG(r)
+		}
+		br := bufio.NewReader(r)
+		isJSON, err := sniffJSON(br)
+		if err != nil {
+			return nil, err
+		}
+		if isJSON {
+			return model.ReadCDCG(br)
+		}
+		return model.ParseText(br)
+	default:
+		return nil, fmt.Errorf("unknown -format %q (want auto, json or text)", format)
 	}
-	return mesh, nil
+}
+
+// sniffJSON reports whether the stream opens (after whitespace) with '{'
+// — a CDCG JSON object; the line-oriented text grammar starts with a
+// directive word. Leading whitespace is consumed (it is insignificant to
+// both grammars), which keeps the sniff independent of the reader's
+// buffer size; the deciding byte is unread.
+func sniffJSON(br *bufio.Reader) (bool, error) {
+	for {
+		c, err := br.ReadByte()
+		if err == io.EOF {
+			return false, nil // empty input: let the text parser report it
+		}
+		if err != nil {
+			return false, err
+		}
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		default:
+			return c == '{', br.UnreadByte()
+		}
+	}
+}
+
+// parseMesh resolves a grid spec exactly like the daemon does; kept as a
+// named function because the spec grammar is part of nocmap's CLI
+// contract (and its tests).
+func parseMesh(spec, topo string, depth, cores int) (*topology.Mesh, error) {
+	return service.ParseMesh(spec, topo, depth, cores)
 }

@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/service"
 )
 
 func TestParseMeshExplicit(t *testing.T) {
@@ -66,17 +70,6 @@ func TestParseMesh3D(t *testing.T) {
 	}
 }
 
-func TestRunDemo3DEndToEnd(t *testing.T) {
-	// The paper demo on a 2x1x2 stacked mesh with XYZ routing, plus
-	// diagrams, exercises the TSV path through the whole CLI.
-	if err := run("", true, "2x1x2", "mesh", 0, "cdcm", "es", "0.07um", "xyz", 1, true, true, 1, 2, 2); err != nil {
-		t.Fatal(err)
-	}
-	if err := run("", true, "2x2", "torus", 2, "cwm", "sa", "0.07um", "zyx", 1, false, false, 1, 2, 2); err != nil {
-		t.Fatal(err)
-	}
-}
-
 func TestParseMeshAutoWithDepth(t *testing.T) {
 	// Auto-sizing spreads the cores over the requested layers instead of
 	// replicating a full planar grid per layer: 16 cores at depth 4 fit a
@@ -110,13 +103,32 @@ func TestParseMeshErrors(t *testing.T) {
 	}
 }
 
+func TestRunDemo3DEndToEnd(t *testing.T) {
+	// The paper demo on a 2x1x2 stacked mesh with XYZ routing, plus
+	// diagrams, exercises the TSV path through the whole CLI.
+	if err := run(options{demo: true, mesh: "2x1x2", topo: "mesh", model: "cdcm", method: "es",
+		tech: "0.07um", routing: "xyz", seed: 1, gantt: true, annotate: true,
+		flits: 1, restarts: 2, workers: 2, stdout: io.Discard}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{demo: true, mesh: "2x2", topo: "torus", depth: 2, model: "cwm", method: "sa",
+		tech: "0.07um", routing: "zyx", seed: 1, flits: 1, restarts: 2, workers: 2,
+		stdout: io.Discard}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunDemoEndToEnd(t *testing.T) {
 	// Full CLI path: demo app, ES search, paper tech, with diagrams.
-	if err := run("", true, "2x2", "mesh", 0, "cdcm", "es", "paper", "xy", 1, true, true, 1, 2, 2); err != nil {
+	if err := run(options{demo: true, mesh: "2x2", topo: "mesh", model: "cdcm", method: "es",
+		tech: "paper", routing: "xy", seed: 1, gantt: true, annotate: true,
+		flits: 1, restarts: 2, workers: 2, stdout: io.Discard}); err != nil {
 		t.Fatal(err)
 	}
 	// CWM path too.
-	if err := run("", true, "2x2", "mesh", 0, "cwm", "sa", "0.07um", "yx", 1, false, false, 16, 2, 2); err != nil {
+	if err := run(options{demo: true, mesh: "2x2", topo: "mesh", model: "cwm", method: "sa",
+		tech: "0.07um", routing: "yx", seed: 1, flits: 16, restarts: 2, workers: 2,
+		stdout: io.Discard}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -128,7 +140,11 @@ func TestRunFromTextAndJSONFiles(t *testing.T) {
 		"name t\ncores a b\npacket p1 a b compute=2 bits=9\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(text, false, "2x1", "mesh", 0, "cdcm", "es", "paper", "xy", 1, false, false, 1, 2, 2); err != nil {
+	base := options{mesh: "2x1", topo: "mesh", model: "cdcm", method: "es", tech: "paper",
+		routing: "xy", seed: 1, flits: 1, restarts: 1, workers: 2, stdout: io.Discard}
+	o := base
+	o.appPath = text
+	if err := run(o); err != nil {
 		t.Fatalf("text app: %v", err)
 	}
 	jsonPath := filepath.Join(dir, "app.json")
@@ -139,35 +155,122 @@ func TestRunFromTextAndJSONFiles(t *testing.T) {
 	if err := os.WriteFile(jsonPath, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(jsonPath, false, "2x2", "mesh", 0, "cwm", "sa", "0.35um", "xy", 1, false, false, 1, 2, 2); err != nil {
+	o = base
+	o.appPath = jsonPath
+	o.mesh = "2x2"
+	o.model = "cwm"
+	o.method = "sa"
+	o.tech = "0.35um"
+	if err := run(o); err != nil {
 		t.Fatalf("json app: %v", err)
 	}
-	// A JSON payload under a text extension must be rejected cleanly.
+	// A JSON payload under a text extension is fine under -format auto
+	// (content sniffing)...
 	badPath := filepath.Join(dir, "bad.cdcg")
 	if err := os.WriteFile(badPath, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(badPath, false, "2x2", "mesh", 0, "cdcm", "sa", "paper", "xy", 1, false, false, 1, 2, 2); err == nil {
-		t.Fatal("JSON-in-text accepted")
+	o = base
+	o.appPath = badPath
+	o.mesh = "2x2"
+	if err := run(o); err != nil {
+		t.Fatalf("JSON under text extension not sniffed: %v", err)
+	}
+	// ...but an explicit -format text must reject it.
+	o.format = "text"
+	if err := run(o); err == nil {
+		t.Fatal("-format text accepted JSON input")
+	}
+	// And an explicit -format json must reject the text grammar.
+	o = base
+	o.appPath = text
+	o.format = "json"
+	if err := run(o); err == nil {
+		t.Fatal("-format json accepted text input")
+	}
+}
+
+func TestRunFromStdin(t *testing.T) {
+	var buf bytes.Buffer
+	if err := model.PaperExampleCDCG().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// JSON on stdin, sniffed.
+	if err := run(options{appPath: "-", stdin: bytes.NewReader(buf.Bytes()), mesh: "2x2",
+		model: "cwm", method: "sa", tech: "paper", routing: "xy", seed: 1,
+		flits: 1, restarts: 1, workers: 1, stdout: io.Discard}); err != nil {
+		t.Fatalf("stdin json: %v", err)
+	}
+	// Text on stdin, sniffed — through more leading whitespace than a
+	// bufio.Reader buffers, which the sniffer must consume, not Peek.
+	text := strings.Repeat(" \n", 3000) + "name t\ncores a b\npacket p1 a b compute=2 bits=9\n"
+	if err := run(options{appPath: "-", stdin: strings.NewReader(text), mesh: "2x1",
+		model: "cdcm", method: "es", tech: "paper", routing: "xy", seed: 1,
+		flits: 1, restarts: 1, workers: 1, stdout: io.Discard}); err != nil {
+		t.Fatalf("stdin text: %v", err)
+	}
+}
+
+func TestRunJSONOutputSharedSchemaAndDeterminism(t *testing.T) {
+	runOnce := func() service.CLIResult {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run(options{demo: true, mesh: "2x2", model: "cwm", method: "sa",
+			tech: "0.07um", routing: "xy", seed: 7, flits: 1, restarts: 2, workers: 2,
+			jsonOut: true, stdout: &out}); err != nil {
+			t.Fatal(err)
+		}
+		var env service.CLIResult
+		if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+			t.Fatalf("-json emitted invalid JSON: %v\n%s", err, out.String())
+		}
+		return env
+	}
+	a, b := runOnce(), runOnce()
+	if a.Result == nil || a.Result.Mapping == nil {
+		t.Fatalf("missing result payload: %+v", a)
+	}
+	if a.Result.Model != "CWM" || a.Result.Method != "SA" || a.Result.Seed != 7 ||
+		a.Result.Grid != "2x2x1" || a.Result.Cores != 4 {
+		t.Errorf("result metadata wrong: %+v", a.Result)
+	}
+	if a.Result.TotalJ <= 0 || a.Result.ExecCycles <= 0 || a.Result.Evaluations <= 0 {
+		t.Errorf("result numbers implausible: %+v", a.Result)
+	}
+	// The deterministic contract: the result objects (not the envelopes,
+	// which carry wall-clock) are byte-identical across runs.
+	ja, _ := json.Marshal(a.Result)
+	jb, _ := json.Marshal(b.Result)
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("repeated -json runs differ:\n%s\n%s", ja, jb)
 	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
+	base := options{demo: true, flits: 1, restarts: 1, workers: 1, stdout: io.Discard}
 	cases := []struct {
 		name string
-		err  func() error
+		mut  func(o options) options
 	}{
-		{"no app", func() error { return run("", false, "", "mesh", 0, "cdcm", "sa", "paper", "xy", 1, false, false, 1, 2, 2) }},
-		{"bad model", func() error { return run("", true, "", "mesh", 0, "xxx", "sa", "paper", "xy", 1, false, false, 1, 2, 2) }},
-		{"bad method", func() error { return run("", true, "", "mesh", 0, "cdcm", "xxx", "paper", "xy", 1, false, false, 1, 2, 2) }},
-		{"bad tech", func() error { return run("", true, "", "mesh", 0, "cdcm", "sa", "90nm", "xy", 1, false, false, 1, 2, 2) }},
-		{"bad routing", func() error { return run("", true, "", "mesh", 0, "cdcm", "sa", "paper", "zz", 1, false, false, 1, 2, 2) }},
-		{"missing file", func() error {
-			return run("/nonexistent.json", false, "", "mesh", 0, "cdcm", "sa", "paper", "xy", 1, false, false, 1, 2, 2)
+		{"no app", func(o options) options { o.demo = false; return o }},
+		{"bad model", func(o options) options { o.model = "xxx"; return o }},
+		{"bad method", func(o options) options { o.method = "xxx"; return o }},
+		{"bad tech", func(o options) options { o.tech = "90nm"; return o }},
+		{"bad routing", func(o options) options { o.routing = "zz"; return o }},
+		{"bad format", func(o options) options {
+			o.demo = false
+			o.appPath = "-"
+			o.stdin = strings.NewReader("{}")
+			o.format = "yaml"
+			return o
 		}},
+		{"missing file", func(o options) options { o.demo = false; o.appPath = "/nonexistent.json"; return o }},
+		{"json+gantt", func(o options) options { o.jsonOut = true; o.gantt = true; return o }},
+		{"json+annotate", func(o options) options { o.jsonOut = true; o.annotate = true; return o }},
+		{"bad format with demo", func(o options) options { o.format = "yaml"; return o }},
 	}
 	for _, tc := range cases {
-		if tc.err() == nil {
+		if err := run(tc.mut(base)); err == nil {
 			t.Errorf("%s accepted", tc.name)
 		}
 	}

@@ -31,6 +31,18 @@
 // keeps the full simulator path: contention is global, so no cheap swap
 // delta exists.
 //
+// The framework also runs as a long-lived service: internal/service plus
+// cmd/nocd expose submission, status, cancellation and progress streaming
+// over HTTP/JSON, with a bounded job queue on the internal/par pool and
+// an LRU result cache keyed by a canonical instance hash
+// (model.CDCG.Hash + service.Instance.Key). Every search engine accepts
+// an optional context.Context and progress callback; the nil-context
+// path is bit-identical to the batch behaviour, so CLI runs, tests and
+// daemon jobs share one search code path. Results are deterministic
+// under a fixed seed and the service result schema carries no wall-clock
+// state, which makes cached, deduplicated and freshly computed responses
+// byte-identical — the invariant the cache is built on.
+//
 // Topologies cover planar and stacked grids: W×H meshes and tori are the
 // D=1 case of W×H×D (topology.NewMesh3D / NewTorus3D), with vertical
 // through-silicon-via (TSV) links between layers, dimension-ordered
@@ -53,10 +65,12 @@
 //	internal/wormhole   timed, contention-aware wormhole simulator
 //	internal/energy     bit-energy model and technology profiles (eqs. 1-10)
 //	internal/mapping    core→tile placements, moves, enumeration
-//	internal/par        deterministic bounded worker pool
+//	internal/par        deterministic bounded worker pool (batch + daemon Pool)
 //	internal/search     SA / exhaustive / hill / random / tabu engines,
-//	                    parallel multi-restart and sharded enumeration
+//	                    parallel multi-restart and sharded enumeration,
+//	                    context cancellation and progress callbacks
 //	internal/core       the FRW framework: CWM & CDCM strategies (the contribution)
+//	internal/service    mapping-as-a-service: job queue, instance cache, HTTP API
 //	internal/appgen     TGFF-like CDCG benchmark generator
 //	internal/apps       Romberg, FFT-8, object recognition, image encoder
 //	internal/trace      timing diagrams and annotated-CRG rendering
@@ -64,6 +78,7 @@
 //	cmd/nocmap          map one application onto a NoC
 //	cmd/nocgen          generate benchmark CDCGs
 //	cmd/nocexp          reproduce the paper's tables and figures
+//	cmd/nocd            the mapping daemon (HTTP/JSON API over internal/service)
 //	examples/...        runnable walk-throughs
 //
 // See README.md for a tour. The benchmarks in bench_test.go regenerate

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/energy"
@@ -120,6 +121,16 @@ type Options struct {
 	// CompareModels (0 or 1 = serial). For a fixed Seed the results are
 	// bit-identical across Workers values; Workers only buys wall-clock.
 	Workers int
+	// Ctx, when non-nil, cancels a running exploration: every engine
+	// polls it on its hot loop and Explore returns ctx.Err(). A nil Ctx
+	// (the default) is bit-identical to the historical behaviour — the
+	// mapping-as-a-service daemon relies on this to share one search
+	// code path between batch and cancellable runs.
+	Ctx context.Context
+	// OnProgress, when non-nil, receives periodic search.Progress
+	// snapshots. The parallel engines invoke it concurrently from their
+	// worker lanes; see search.ProgressFunc for the contract.
+	OnProgress search.ProgressFunc
 }
 
 // ExploreResult is the outcome of one exploration.
@@ -171,6 +182,8 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 				Alpha:        opts.Alpha,
 				StallSteps:   opts.StallSteps,
 				Reheats:      opts.Reheats,
+				Ctx:          opts.Ctx,
+				OnProgress:   opts.OnProgress,
 			},
 			Restarts:     opts.Restarts,
 			Workers:      opts.Workers,
@@ -183,6 +196,8 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 			Anchor:       opts.ESAnchor,
 			Workers:      opts.Workers,
 			NewObjective: newObjective,
+			Ctx:          opts.Ctx,
+			OnProgress:   opts.OnProgress,
 		}).Run()
 	case MethodRandom, MethodHill, MethodTabu:
 		var obj search.Objective
@@ -192,17 +207,28 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 		prob.Obj = obj
 		switch opts.Method {
 		case MethodRandom:
-			res, err = (&search.RandomSearch{Problem: prob, Seed: opts.Seed, Samples: opts.Samples}).Run()
+			res, err = (&search.RandomSearch{Problem: prob, Seed: opts.Seed, Samples: opts.Samples,
+				Ctx: opts.Ctx, OnProgress: opts.OnProgress}).Run()
 		case MethodHill:
-			res, err = (&search.HillClimber{Problem: prob, Seed: opts.Seed}).Run()
+			res, err = (&search.HillClimber{Problem: prob, Seed: opts.Seed,
+				Ctx: opts.Ctx, OnProgress: opts.OnProgress}).Run()
 		case MethodTabu:
-			res, err = (&search.Tabu{Problem: prob, Seed: opts.Seed}).Run()
+			res, err = (&search.Tabu{Problem: prob, Seed: opts.Seed,
+				Ctx: opts.Ctx, OnProgress: opts.OnProgress}).Run()
 		}
 	default:
 		err = fmt.Errorf("core: unknown method %d", opts.Method)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if opts.Ctx != nil {
+		// The winner still has to be priced on the CDCM simulator below;
+		// don't start that (potentially expensive) run for a caller that
+		// has already walked away.
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 
 	pricer, err := NewCDCM(mesh, cfg, tech, g)
@@ -298,7 +324,7 @@ func CompareModels(mesh *topology.Mesh, cfg noc.Config, g *model.CDCG, opts Comp
 	// reporting tech (jobs 1..len(report)).
 	var cwmRes *ExploreResult
 	randRuns := make([]*ExploreResult, len(report))
-	err := par.ForEach(1+len(report), opts.Workers, func(i int) error {
+	err := par.ForEachCtx(opts.Ctx, 1+len(report), opts.Workers, func(i int) error {
 		if i == 0 {
 			res, err := Explore(StrategyCWM, mesh, cfg, optTech, g, opts.Options)
 			if err != nil {
@@ -324,7 +350,7 @@ func CompareModels(mesh *topology.Mesh, cfg noc.Config, g *model.CDCG, opts Comp
 	// refinement.
 	cwmMetrics := make([]Metrics, len(report))
 	seedRuns := make([]*ExploreResult, len(report))
-	err = par.ForEach(2*len(report), opts.Workers, func(i int) error {
+	err = par.ForEachCtx(opts.Ctx, 2*len(report), opts.Workers, func(i int) error {
 		tech := report[i/2]
 		if i%2 == 0 {
 			pricer, err := NewCDCM(mesh, cfg, tech, g)

@@ -57,7 +57,8 @@ func RunAblations(suite []Workload, variants []AblationVariant, opts core.Option
 		variants = DefaultAblations()
 	}
 	outs := make([]AblationOutcome, len(suite)*len(variants))
-	err := par.ForEach(len(outs), opts.Workers, func(i int) error {
+	// opts.Ctx (when set) cancels the batch and the explorations within.
+	err := par.ForEachCtx(opts.Ctx, len(outs), opts.Workers, func(i int) error {
 		w := suite[i/len(variants)]
 		v := variants[i%len(variants)]
 		var mesh *topology.Mesh

@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/noc"
+)
+
+func TestBatchRunnersHonorContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := core.Options{Ctx: ctx, Workers: 2}
+
+	suite, err := Table1Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDim3(model.PaperExampleCDCG(), nil, noc.Default(), opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunDim3: err = %v, want context.Canceled", err)
+	}
+	if _, err := RunAblations(suite, nil, opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunAblations: err = %v, want context.Canceled", err)
+	}
+	if _, err := RunTable2(suite, Table2Options{Search: opts, Workers: 2}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunTable2: err = %v, want context.Canceled", err)
+	}
+}

@@ -107,7 +107,8 @@ func RunDim3(g *model.CDCG, shapes []Dim3Shape, cfg noc.Config, opts core.Option
 	}
 	strategies := []core.Strategy{core.StrategyCWM, core.StrategyCDCM}
 	outs := make([]Dim3Outcome, len(shapes)*len(strategies))
-	err := par.ForEach(len(outs), opts.Workers, func(i int) error {
+	// opts.Ctx (when set) cancels the batch and the explorations within.
+	err := par.ForEachCtx(opts.Ctx, len(outs), opts.Workers, func(i int) error {
 		shape := shapes[i/len(strategies)]
 		strat := strategies[i%len(strategies)]
 		mesh, err := shape.Mesh()

@@ -111,7 +111,10 @@ func RunTable2(suite []Workload, opts Table2Options) (*Table2Report, error) {
 		}
 	}
 	outcomes := make([]WorkloadOutcome, len(jobs))
-	err := par.ForEach(len(jobs), opts.Workers, func(i int) error {
+	// Search.Ctx (when set) cancels both the batch dispatch and, because
+	// Search is the options every comparison runs under, the individual
+	// explorations inside each job.
+	err := par.ForEachCtx(opts.Search.Ctx, len(jobs), opts.Workers, func(i int) error {
 		w, seed := jobs[i].w, jobs[i].seed
 		mesh, err := w.Mesh()
 		if err != nil {

@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,14 @@ func ForEach(n, workers int, task func(i int) error) error {
 	return ForEachWorker(n, workers, func(_, i int) error { return task(i) })
 }
 
+// ForEachCtx is ForEach with cancellation: once ctx is done, tasks not yet
+// dispatched are skipped and the call returns — the lowest-index task
+// error if one exists (tasks that poll ctx themselves typically surface
+// ctx.Err() that way), ctx.Err() otherwise. A nil ctx is exactly ForEach.
+func ForEachCtx(ctx context.Context, n, workers int, task func(i int) error) error {
+	return ForEachWorkerCtx(ctx, n, workers, func(_, i int) error { return task(i) })
+}
+
 // ForEachWorker is ForEach with the pool lane exposed: task(w, i) runs
 // job i on worker goroutine w, where w is in [0, min(workers, n)). A
 // given w is never concurrent with itself, so callers can hand each
@@ -46,7 +55,17 @@ func ForEach(n, workers int, task func(i int) error) error {
 // overall computation must come from the per-worker state being
 // semantically identical across lanes.
 func ForEachWorker(n, workers int, task func(worker, i int) error) error {
+	return ForEachWorkerCtx(nil, n, workers, task)
+}
+
+// ForEachWorkerCtx is ForEachWorker with cancellation, with the same
+// error-priority rule as ForEachCtx: task errors (lowest index) win over
+// the bare ctx.Err(). A nil ctx is exactly ForEachWorker.
+func ForEachWorkerCtx(ctx context.Context, n, workers int, task func(worker, i int) error) error {
 	if n <= 0 {
+		if ctx != nil {
+			return ctx.Err()
+		}
 		return nil
 	}
 	workers = Workers(workers)
@@ -55,6 +74,11 @@ func ForEachWorker(n, workers int, task func(worker, i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if err := task(0, i); err != nil {
 				return err
 			}
@@ -78,9 +102,7 @@ func ForEachWorker(n, workers int, task func(worker, i int) error) error {
 			}
 		}(w)
 	}
-	for i := 0; i < n && !failed.Load(); i++ {
-		next <- i
-	}
+	ctxErr := dispatch(ctx, n, next, &failed)
 	close(next)
 	wg.Wait()
 	for _, err := range errs {
@@ -88,5 +110,26 @@ func ForEachWorker(n, workers int, task func(worker, i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctxErr
+}
+
+// dispatch feeds job indices in order until all are sent, a task has
+// failed, or ctx is done; it returns ctx's error in the last case. Kept
+// out of ForEachWorkerCtx so the nil-ctx path pays no select.
+func dispatch(ctx context.Context, n int, next chan<- int, failed *atomic.Bool) error {
+	if ctx == nil {
+		for i := 0; i < n && !failed.Load(); i++ {
+			next <- i
+		}
+		return nil
+	}
+	done := ctx.Done()
+	for i := 0; i < n && !failed.Load(); i++ {
+		select {
+		case next <- i:
+		case <-done:
+			return ctx.Err()
+		}
+	}
+	return ctx.Err()
 }

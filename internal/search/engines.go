@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -22,6 +23,12 @@ type Exhaustive struct {
 	// Limit aborts after this many placements (0 = none). If it fires,
 	// the result is the best-so-far and Certified stays false.
 	Limit int64
+	// Ctx, when non-nil, cancels the enumeration; Run returns ctx.Err().
+	// Nil is bit-identical to the historical behaviour.
+	Ctx context.Context
+	// OnProgress, when non-nil, receives a snapshot every few thousand
+	// placements (Steps is 0: the space size is not precomputed).
+	OnProgress ProgressFunc
 }
 
 // Run enumerates the space.
@@ -38,12 +45,21 @@ func (e *Exhaustive) Run() (*Result, error) {
 	err := mapping.Enumerate(e.Problem.Mesh, e.Problem.NumCores,
 		mapping.EnumerateOptions{Limit: e.Limit, AnchorCore: anchor},
 		func(m mapping.Mapping) bool {
+			if e.Ctx != nil && res.Evaluations%pollEvery == 0 {
+				if err := pollCtx(e.Ctx); err != nil {
+					innerErr = err
+					return false
+				}
+			}
 			c, err := e.Problem.Obj.Cost(m)
 			if err != nil {
 				innerErr = err
 				return false
 			}
 			res.Evaluations++
+			if e.OnProgress != nil && res.Evaluations%4096 == 0 {
+				e.OnProgress(Progress{Engine: "ES", Evaluations: res.Evaluations, BestCost: res.BestCost})
+			}
 			if res.Evaluations == 1 {
 				res.InitialCost = c
 			}
@@ -74,6 +90,11 @@ type RandomSearch struct {
 	Problem Problem
 	Seed    int64
 	Samples int // 0 defaults to 1000
+	// Ctx, when non-nil, cancels the sampling; Run returns ctx.Err().
+	Ctx context.Context
+	// OnProgress, when non-nil, receives a snapshot every few hundred
+	// samples.
+	OnProgress ProgressFunc
 }
 
 // Run draws and prices Samples random mappings.
@@ -88,6 +109,11 @@ func (r *RandomSearch) Run() (*Result, error) {
 	rng := rand.New(rand.NewSource(r.Seed))
 	res := &Result{BestCost: math.Inf(1)}
 	for i := 0; i < samples; i++ {
+		if r.Ctx != nil && i%pollEvery == 0 {
+			if err := pollCtx(r.Ctx); err != nil {
+				return nil, err
+			}
+		}
 		m, err := mapping.Random(rng, r.Problem.NumCores, r.Problem.Mesh.NumTiles())
 		if err != nil {
 			return nil, err
@@ -105,6 +131,10 @@ func (r *RandomSearch) Run() (*Result, error) {
 			res.Best = m
 			res.Improvements++
 		}
+		if r.OnProgress != nil && (i+1)%256 == 0 {
+			r.OnProgress(Progress{Engine: "random", Step: i + 1, Steps: samples,
+				Evaluations: res.Evaluations, BestCost: res.BestCost})
+		}
 	}
 	return res, nil
 }
@@ -118,6 +148,11 @@ type HillClimber struct {
 	Problem  Problem
 	Seed     int64
 	Restarts int // 0 defaults to 3
+	// Ctx, when non-nil, cancels the climb; Run returns ctx.Err().
+	Ctx context.Context
+	// OnProgress, when non-nil, receives a snapshot after every accepted
+	// steepest-descent move (Step/Steps count restarts).
+	OnProgress ProgressFunc
 }
 
 // Run executes the restarts.
@@ -158,6 +193,11 @@ func (h *HillClimber) Run() (*Result, error) {
 					if occ[ta] == mapping.Unassigned && occ[tb] == mapping.Unassigned {
 						continue
 					}
+					if h.Ctx != nil && res.Evaluations%pollEvery == 0 {
+						if err := pollCtx(h.Ctx); err != nil {
+							return nil, err
+						}
+					}
 					var c, d float64
 					if useDelta {
 						d, err = dobj.SwapDelta(occ, ta, tb)
@@ -192,6 +232,14 @@ func (h *HillClimber) Run() (*Result, error) {
 				bestC = dobj.Commit(bestA, bestB)
 			}
 			cost = bestC
+			if h.OnProgress != nil {
+				b := res.BestCost
+				if cost < b {
+					b = cost
+				}
+				h.OnProgress(Progress{Engine: "hill", Step: r + 1, Steps: restarts,
+					Evaluations: res.Evaluations, BestCost: b})
+			}
 		}
 		if cost < res.BestCost {
 			res.BestCost = cost
@@ -216,6 +264,10 @@ type Tabu struct {
 	Seed       int64
 	Iterations int // 0 defaults to 200
 	Tenure     int // 0 defaults to NumTiles/2+1
+	// Ctx, when non-nil, cancels the search; Run returns ctx.Err().
+	Ctx context.Context
+	// OnProgress, when non-nil, receives a snapshot after every iteration.
+	OnProgress ProgressFunc
 }
 
 // Run executes the tabu search.
@@ -263,6 +315,11 @@ func (t *Tabu) Run() (*Result, error) {
 				if occ[ta] == mapping.Unassigned && occ[tb] == mapping.Unassigned {
 					continue
 				}
+				if t.Ctx != nil && res.Evaluations%pollEvery == 0 {
+					if err := pollCtx(t.Ctx); err != nil {
+						return nil, err
+					}
+				}
 				var c, d float64
 				if useDelta {
 					d, err = dobj.SwapDelta(occ, ta, tb)
@@ -302,6 +359,10 @@ func (t *Tabu) Run() (*Result, error) {
 			res.BestCost = cost
 			copy(res.Best, cur)
 			res.Improvements++
+		}
+		if t.OnProgress != nil {
+			t.OnProgress(Progress{Engine: "tabu", Step: it + 1, Steps: iters,
+				Evaluations: res.Evaluations, BestCost: res.BestCost})
 		}
 	}
 	if useDelta {

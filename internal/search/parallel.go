@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -61,7 +62,12 @@ type MultiAnnealer struct {
 	NewObjective ObjectiveFactory
 }
 
-// Run executes the restarts and merges their results.
+// Run executes the restarts and merges their results. Cancellation and
+// progress reporting are configured on Base: Base.Ctx cancels every
+// restart (running restarts stop at their next poll, queued restarts are
+// never dispatched), and Base.OnProgress receives each restart's
+// snapshots with Restart set to the restart index — concurrently when
+// Workers > 1, so the callback must be safe for concurrent use.
 func (m *MultiAnnealer) Run() (*Result, error) {
 	restarts := m.Restarts
 	if restarts == 0 {
@@ -81,10 +87,16 @@ func (m *MultiAnnealer) Run() (*Result, error) {
 		return nil, err
 	}
 	results := make([]*Result, restarts)
-	err = par.ForEachWorker(restarts, workers, func(w, i int) error {
+	err = par.ForEachWorkerCtx(m.Base.Ctx, restarts, workers, func(w, i int) error {
 		a := m.Base // copy: each restart mutates only its own Annealer
 		a.Seed = m.Base.Seed + int64(i)
 		a.Problem.Obj = objs[w]
+		if base := m.Base.OnProgress; base != nil {
+			a.OnProgress = func(p Progress) {
+				p.Restart = i
+				base(p)
+			}
+		}
 		res, err := a.Run()
 		if err != nil {
 			return fmt.Errorf("search: restart %d: %w", i, err)
@@ -149,6 +161,15 @@ type ShardedExhaustive struct {
 	// NewObjective supplies a private objective per worker lane; see
 	// ObjectiveFactory. When nil, shards share Problem.Obj.
 	NewObjective ObjectiveFactory
+	// Ctx, when non-nil, cancels the enumeration: running shards stop at
+	// their next poll, queued shards are never dispatched, and Run
+	// returns ctx.Err(). Nil is bit-identical to the historical
+	// behaviour.
+	Ctx context.Context
+	// OnProgress, when non-nil, receives per-shard snapshots with Restart
+	// set to the shard index — concurrently when Workers > 1, so the
+	// callback must be safe for concurrent use.
+	OnProgress ProgressFunc
 }
 
 // Run enumerates the space.
@@ -161,7 +182,8 @@ func (s *ShardedExhaustive) Run() (*Result, error) {
 		}
 		prob := s.Problem
 		prob.Obj = objs[0]
-		return (&Exhaustive{Problem: prob, Anchor: s.Anchor, Limit: s.Limit}).Run()
+		return (&Exhaustive{Problem: prob, Anchor: s.Anchor, Limit: s.Limit,
+			Ctx: s.Ctx, OnProgress: s.OnProgress}).Run()
 	}
 
 	if s.Problem.Mesh == nil {
@@ -178,13 +200,19 @@ func (s *ShardedExhaustive) Run() (*Result, error) {
 		return nil, err
 	}
 	shards := make([]*Result, len(tiles))
-	err = par.ForEachWorker(len(tiles), workers, func(w, i int) error {
+	err = par.ForEachWorkerCtx(s.Ctx, len(tiles), workers, func(w, i int) error {
 		res := &Result{BestCost: math.Inf(1)}
 		obj := objs[w]
 		var innerErr error
 		err := mapping.Enumerate(s.Problem.Mesh, s.Problem.NumCores,
 			mapping.EnumerateOptions{AnchorCore: -1, PinFirst: true, FirstTile: tiles[i]},
 			func(m mapping.Mapping) bool {
+				if s.Ctx != nil && res.Evaluations%pollEvery == 0 {
+					if err := pollCtx(s.Ctx); err != nil {
+						innerErr = err
+						return false
+					}
+				}
 				c, err := obj.Cost(m)
 				if err != nil {
 					innerErr = err
@@ -193,6 +221,10 @@ func (s *ShardedExhaustive) Run() (*Result, error) {
 				res.Evaluations++
 				if res.Evaluations == 1 {
 					res.InitialCost = c
+				}
+				if s.OnProgress != nil && res.Evaluations%4096 == 0 {
+					s.OnProgress(Progress{Engine: "ES", Restart: i,
+						Evaluations: res.Evaluations, BestCost: res.BestCost})
 				}
 				if c < res.BestCost {
 					res.BestCost = c

@@ -1,0 +1,49 @@
+package search
+
+import "context"
+
+// Progress is a periodic snapshot of a running search, delivered through
+// an engine's OnProgress callback. It is observational only: emitting it
+// never touches the walk's RNG or incumbent state, so a run with a
+// callback is bit-identical to one without.
+type Progress struct {
+	// Engine names the emitting engine ("SA", "ES", "random", "hill",
+	// "tabu").
+	Engine string
+	// Restart is the restart index (MultiAnnealer) or shard index
+	// (ShardedExhaustive) the snapshot belongs to; 0 for serial engines.
+	Restart int
+	// Step / Steps report outer-loop progress in engine-specific units:
+	// temperature steps for SA, iterations for tabu, samples for random
+	// search, restarts for hill climbing. Steps is 0 when the total is
+	// unknown up front (exhaustive enumeration).
+	Step, Steps int
+	// Evaluations counts objective calls so far in this run (for the
+	// parallel engines: in this restart/shard).
+	Evaluations int64
+	// BestCost is the incumbent best objective value.
+	BestCost float64
+}
+
+// ProgressFunc receives Progress snapshots. The parallel engines
+// (MultiAnnealer, ShardedExhaustive) invoke it concurrently from their
+// worker lanes, so implementations must be safe for concurrent use; they
+// must also not block for long (they run on the search hot path) and must
+// not mutate engine state.
+type ProgressFunc func(Progress)
+
+// pollEvery is the number of objective evaluations the inner loops let
+// elapse between cancellation checks: rare enough to stay invisible on
+// the ~100ns incremental-evaluation path, frequent enough that a
+// cancelled CDCM run (milliseconds per evaluation) stops promptly.
+const pollEvery = 64
+
+// pollCtx reports whether a run should stop: nil when ctx is nil (the
+// engines' default, bit-identical to the pre-cancellation behaviour) or
+// not yet done, ctx.Err() otherwise.
+func pollCtx(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

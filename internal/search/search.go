@@ -7,6 +7,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -183,11 +184,23 @@ type Annealer struct {
 	// same per-step budget but escapes local basins on rugged landscapes
 	// (the contention-driven CDCM objective in particular).
 	Reheats int
+	// Ctx, when non-nil, makes the run cancellable: the inner loops poll
+	// it every few evaluations and Run returns ctx.Err() once it is done.
+	// A nil Ctx (the default) takes exactly the historical code path —
+	// polling never touches the RNG or the incumbent, so results are
+	// bit-identical with or without a context.
+	Ctx context.Context
+	// OnProgress, when non-nil, receives a snapshot after every
+	// temperature step. Observational only; see ProgressFunc.
+	OnProgress ProgressFunc
 }
 
 // Run executes the annealing schedule.
 func (a *Annealer) Run() (*Result, error) {
 	if err := a.Problem.validate(); err != nil {
+		return nil, err
+	}
+	if err := pollCtx(a.Ctx); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(a.Seed))
@@ -294,6 +307,11 @@ func (a *Annealer) Run() (*Result, error) {
 		var sum float64
 		var n int
 		for i := 0; i < 40; i++ {
+			if a.Ctx != nil && res.Evaluations%pollEvery == 0 {
+				if err := pollCtx(a.Ctx); err != nil {
+					return nil, err
+				}
+			}
 			ta, tb := propose()
 			_, d, err := price(ta, tb)
 			if err != nil {
@@ -350,6 +368,11 @@ func (a *Annealer) Run() (*Result, error) {
 		}
 		improvedThisStep := false
 		for mv := 0; mv < moves; mv++ {
+			if a.Ctx != nil && res.Evaluations%pollEvery == 0 {
+				if err := pollCtx(a.Ctx); err != nil {
+					return nil, err
+				}
+			}
 			ta, tb := propose()
 			c, d, err := price(ta, tb)
 			if err != nil {
@@ -372,6 +395,10 @@ func (a *Annealer) Run() (*Result, error) {
 			stalled++
 		}
 		temp *= alpha
+		if a.OnProgress != nil {
+			a.OnProgress(Progress{Engine: "SA", Step: step + 1, Steps: steps,
+				Evaluations: res.Evaluations, BestCost: res.BestCost})
+		}
 	}
 	if useDelta {
 		if err := repriceBest(a.Problem.Obj, res); err != nil {

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// benchRequest is a realistic CWM/SA instance: the paper demo on a 3x3
+// grid with the default annealing budget.
+func benchRequest(seed int64) *Request {
+	return &Request{Demo: true, Mesh: "3x3", Model: "cwm", Method: "sa", Seed: seed}
+}
+
+// BenchmarkServiceColdCompute measures an uncached submission end to end
+// (resolve, key, queue, search, encode). Each iteration uses a fresh seed
+// so the cache never hits.
+func BenchmarkServiceColdCompute(b *testing.B) {
+	s := New(Config{Workers: 1, QueueSize: 1 << 16, CacheSize: 1 << 16, MaxJobs: 1 << 20})
+	defer s.Shutdown(context.Background())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := s.Submit(benchRequest(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := j.Wait(); st.State != StateSucceeded {
+			b.Fatalf("job %d: %s (%s)", i, st.State, st.Error)
+		}
+	}
+}
+
+// BenchmarkServiceCacheHit measures the identical submission once the
+// result is cached — the daemon's steady state for repeated and
+// near-duplicate requests. The gap to ColdCompute is the point of the
+// canonical-instance cache.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	s := New(Config{Workers: 1, QueueSize: 1 << 16, CacheSize: 1 << 16, MaxJobs: 1 << 20})
+	defer s.Shutdown(context.Background())
+	j, err := s.Submit(benchRequest(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st := j.Wait(); st.State != StateSucceeded {
+		b.Fatalf("warmup: %s (%s)", st.State, st.Error)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := s.Submit(benchRequest(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := j.Wait(); st.State != StateSucceeded || !st.CacheHit {
+			b.Fatalf("iteration %d missed the cache: %s", i, st.State)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// lruCache is a bounded most-recently-used cache from canonical instance
+// key to encoded result bytes. Values are stored encoded so every reader
+// — first compute, cache hit, follower of an in-flight compute — serves
+// byte-identical JSON.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val json.RawMessage
+}
+
+func newLRU(max int) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached bytes for key and refreshes its recency.
+func (c *lruCache) Get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Add stores key's bytes, evicting the least recently used entry when the
+// cache is full.
+func (c *lruCache) Add(key string, val json.RawMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

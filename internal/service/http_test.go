@@ -1,0 +1,323 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, JobStatus) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decoding job status: %v", err)
+		}
+	}
+	return resp, st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) (int, JobStatus) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+func pollUntil(t *testing.T, ts *httptest.Server, id string, want State) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, st := getStatus(t, ts, id)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s: %d", id, code)
+		}
+		if st.State == want {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return JobStatus{}
+}
+
+func TestHTTPSubmitPollResult(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, st := postJob(t, ts, `{"demo":true,"mesh":"2x2","model":"cwm","method":"sa","seed":7}`)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST status %d", resp.StatusCode)
+	}
+	if st.ID == "" || st.Key == "" {
+		t.Fatalf("empty id/key: %+v", st)
+	}
+	final := pollUntil(t, ts, st.ID, StateSucceeded)
+	var res Result
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		t.Fatalf("result decode: %v", err)
+	}
+	if res.Seed != 7 || res.Model != "CWM" || len(res.Mapping) != 4 {
+		t.Errorf("result: %+v", res)
+	}
+
+	// Resubmission of the identical instance is served from the cache
+	// with byte-identical result JSON.
+	resp2, st2 := postJob(t, ts, `{"demo":true,"mesh":"2x2","model":"cwm","method":"sa","seed":7}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("cache hit status %d, want 200", resp2.StatusCode)
+	}
+	if !st2.CacheHit || st2.State != StateSucceeded {
+		t.Errorf("not a cache hit: %+v", st2)
+	}
+	if !bytes.Equal(final.Result, st2.Result) {
+		t.Errorf("cached result differs:\n%s\n%s", final.Result, st2.Result)
+	}
+}
+
+func TestHTTPBadInputAnd404(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{"unknown_field":1}`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},                                 // no app
+		{`{"demo":true,"mesh":"1x1"}`, http.StatusBadRequest},         // does not fit
+		{`{"demo":true,"tech":"90nm"}`, http.StatusBadRequest},        // unknown tech
+		{`{"demo":true,"method":"simplex"}`, http.StatusBadRequest},   // unknown method
+		{`{"demo":true,"mesh":"axb"}`, http.StatusBadRequest},         // bad spec
+		{`{"demo":true,"app":{"cores":[]}}`, http.StatusBadRequest},   // app+demo
+	}
+	for _, tc := range cases {
+		resp, _ := postJob(t, ts, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("POST %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+
+	if code, _ := getStatus(t, ts, "j-999999"); code != http.StatusNotFound {
+		t.Errorf("GET unknown job: %d, want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/j-999999", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown job: %d, want 404", resp.StatusCode)
+	}
+	if code, _ := getStatus(t, ts, "j-999999/events"); code != http.StatusNotFound {
+		t.Errorf("GET events of unknown job: %d, want 404", code)
+	}
+
+	// An oversized body is a size rejection (413), not malformed input.
+	huge := `{"demo":true,"mesh":"` + strings.Repeat(" ", maxRequestBytes+1) + `2x2"}`
+	resp, _ = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(huge))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPCancelRunningJob(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	_, st := postJob(t, ts, `{"demo":true,"mesh":"3x3","model":"cdcm","method":"sa",
+		"temp_steps":1048576,"moves_per_temp":4096,"stall_steps":1048576}`)
+	pollUntil(t, ts, st.ID, StateRunning)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: %d", resp.StatusCode)
+	}
+	final := pollUntil(t, ts, st.ID, StateCanceled)
+	if final.Result != nil {
+		t.Error("canceled job carries a result")
+	}
+}
+
+func TestHTTPQueueFull(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, QueueSize: 1})
+	slow := func(seed int) string {
+		return fmt.Sprintf(`{"demo":true,"mesh":"3x3","model":"cdcm","seed":%d,
+			"temp_steps":1048576,"moves_per_temp":4096,"stall_steps":1048576}`, seed)
+	}
+	_, st1 := postJob(t, ts, slow(1))
+	pollUntil(t, ts, st1.ID, StateRunning)
+	_, st2 := postJob(t, ts, slow(2))
+	resp, _ := postJob(t, ts, slow(3))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("full queue: status %d, want 429", resp.StatusCode)
+	}
+	for _, id := range []string{st2.ID, st1.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+func TestHTTPEventsStream(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	// A few hundred milliseconds of compute with one progress snapshot
+	// per temperature step: the stream reliably attaches while the job
+	// is still running and sees both event kinds.
+	_, st := postJob(t, ts, `{"demo":true,"mesh":"2x2","model":"cdcm","method":"sa",
+		"temp_steps":300,"moves_per_temp":400,"stall_steps":300}`)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	var sawProgress, sawDone bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		switch ev.Type {
+		case "progress":
+			sawProgress = true
+			if ev.Progress == nil || ev.Progress.Engine == "" {
+				t.Errorf("empty progress event: %+v", ev)
+			}
+		case "done":
+			sawDone = true
+			if ev.Job == nil || !ev.Job.State.Terminal() {
+				t.Errorf("done event without terminal job: %+v", ev)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if !sawDone {
+		t.Error("stream ended without a done event")
+	}
+	if !sawProgress {
+		t.Error("stream carried no progress events")
+	}
+
+	// Subscribing to an already-finished job yields an immediate done.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, err := readAll(resp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, `"type":"done"`) {
+		t.Errorf("terminal job stream missing done event: %q", body)
+	}
+}
+
+func readAll(resp *http.Response) (string, error) {
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		b.WriteString(sc.Text())
+		b.WriteByte('\n')
+	}
+	return b.String(), sc.Err()
+}
+
+func TestHTTPHealthAndMetrics(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := readAll(resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	_, st := postJob(t, ts, `{"demo":true,"mesh":"2x2","model":"cwm"}`)
+	pollUntil(t, ts, st.ID, StateSucceeded)
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if m["jobs_submitted"] < 1 || m["jobs_completed"] < 1 || m["computes"] < 1 {
+		t.Errorf("metrics implausible: %v", m)
+	}
+	for _, key := range []string{"cache_entries", "cache_hits", "cache_misses",
+		"jobs_canceled", "jobs_failed", "jobs_queued", "jobs_rejected", "jobs_running"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metrics missing %q", key)
+		}
+	}
+}
+
+func TestHTTPShuttingDownReturns503(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postJob(t, ts, `{"demo":true}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,266 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/search"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. Queued and Running are transient; the other three are
+// terminal and final.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// ProgressJSON is the wire form of a search.Progress snapshot.
+type ProgressJSON struct {
+	Engine      string  `json:"engine"`
+	Restart     int     `json:"restart"`
+	Step        int     `json:"step"`
+	Steps       int     `json:"steps"`
+	Evaluations int64   `json:"evaluations"`
+	BestCost    float64 `json:"best_cost_j"`
+}
+
+// Event is one server-sent event on /v1/jobs/{id}/events.
+type Event struct {
+	// Type is "progress" or "done".
+	Type string `json:"type"`
+	// Progress is set on progress events.
+	Progress *ProgressJSON `json:"progress,omitempty"`
+	// Job is the final status, set on the done event.
+	Job *JobStatus `json:"job,omitempty"`
+}
+
+// JobStatus is the wire form of a job — the body of POST/GET/DELETE
+// /v1/jobs responses. Result is raw pre-encoded bytes so identical
+// instances serve byte-identical result JSON whether computed, cached or
+// deduplicated.
+type JobStatus struct {
+	ID          string          `json:"id"`
+	State       State           `json:"state"`
+	Key         string          `json:"key"`
+	CacheHit    bool            `json:"cache_hit"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	StartedAt   *time.Time      `json:"started_at,omitempty"`
+	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
+	ElapsedMS   float64         `json:"elapsed_ms"`
+	Progress    *ProgressJSON   `json:"progress,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	Error       string          `json:"error,omitempty"`
+}
+
+// Job is one submitted mapping instance tracked by the Server.
+//
+// Locking: Job.mu guards every mutable field below it. The Server's
+// bookkeeping (inflight map, follower/leader links) is guarded by
+// Server.mu, and the lock order is always Server.mu before Job.mu.
+type Job struct {
+	// Immutable after creation.
+	ID  string
+	key string
+	in  *Instance
+
+	mu        sync.Mutex
+	state     State
+	cacheHit  bool
+	canceling bool // cancel requested; runJob turns it into StateCanceled
+	cancel    context.CancelFunc
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	progress  *ProgressJSON
+	result    json.RawMessage
+	errMsg    string
+	done      chan struct{}
+	subs      map[chan Event]struct{}
+
+	// Guarded by Server.mu, not Job.mu (see Server).
+	leader    *Job
+	followers []*Job
+}
+
+func newJob(id, key string, in *Instance, now time.Time) *Job {
+	return &Job{
+		ID:        id,
+		key:       key,
+		in:        in,
+		state:     StateQueued,
+		submitted: now,
+		done:      make(chan struct{}),
+		subs:      make(map[chan Event]struct{}),
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job is terminal and returns its final status.
+func (j *Job) Wait() JobStatus {
+	<-j.done
+	return j.Status()
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.ID,
+		State:       j.state,
+		Key:         j.key,
+		CacheHit:    j.cacheHit,
+		SubmittedAt: j.submitted,
+		Progress:    j.progress,
+		Result:      j.result,
+		Error:       j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.ElapsedMS = float64(end.Sub(j.started).Nanoseconds()) / 1e6
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// start transitions queued -> running and records the cancel function.
+// It reports false when cancellation was requested first, in which case
+// the caller must not compute.
+func (j *Job) start(cancel context.CancelFunc, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.canceling || j.state.Terminal() {
+		return false
+	}
+	j.state = StateRunning
+	j.started = now
+	j.cancel = cancel
+	return true
+}
+
+// requestCancel marks the job for cancellation and interrupts a running
+// compute. It reports whether the request took effect (false once the
+// job is already terminal or already canceling).
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() || j.canceling {
+		return false
+	}
+	j.canceling = true
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return true
+}
+
+// finish moves the job to its terminal state and reports whether this
+// call made the transition. Idempotent: only the first call takes effect
+// (a job canceled while queued is finished by Cancel and again,
+// harmlessly, when the pool reaches it), so callers count metrics off
+// the return value.
+func (j *Job) finish(result json.RawMessage, err error, cacheHit bool, now time.Time) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	switch {
+	case err == nil:
+		j.state = StateSucceeded
+		j.result = result
+		j.cacheHit = cacheHit
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		j.errMsg = err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	j.finished = now
+	subs := make([]chan Event, 0, len(j.subs))
+	for ch := range j.subs {
+		subs = append(subs, ch)
+	}
+	j.mu.Unlock()
+
+	// Subscribers learn the terminal state from Done() (the event stream
+	// selects on it), so the done event here is best-effort.
+	ev := Event{Type: "done"}
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	close(j.done)
+	return true
+}
+
+// publishProgress records a search snapshot and fans it out to event
+// subscribers. Called concurrently from parallel search lanes; dropped
+// (never blocking) when a subscriber's buffer is full — progress events
+// are snapshots, so losing an intermediate one is harmless.
+func (j *Job) publishProgress(p search.Progress) {
+	pj := &ProgressJSON{
+		Engine:      p.Engine,
+		Restart:     p.Restart,
+		Step:        p.Step,
+		Steps:       p.Steps,
+		Evaluations: p.Evaluations,
+		BestCost:    p.BestCost,
+	}
+	j.mu.Lock()
+	j.progress = pj
+	subs := make([]chan Event, 0, len(j.subs))
+	for ch := range j.subs {
+		subs = append(subs, ch)
+	}
+	j.mu.Unlock()
+	ev := Event{Type: "progress", Progress: pj}
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe attaches an event channel; the caller must unsubscribe it.
+func (j *Job) subscribe() chan Event {
+	ch := make(chan Event, 16)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch
+}
+
+func (j *Job) unsubscribe(ch chan Event) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Result is the machine-readable outcome of one mapping job — the schema
+// shared byte-for-byte between `nocmap -json` and the daemon's job API.
+//
+// Determinism contract: Result contains only values derived from the
+// instance and the (seeded) search — no timestamps, durations or host
+// state — so identical (instance, strategy, seed) submissions marshal to
+// byte-identical JSON. Wall-clock data lives in the surrounding envelope
+// (JobStatus for the daemon, CLIResult for the CLI). The daemon's result
+// cache relies on this: a cached entry is indistinguishable from a fresh
+// compute.
+type Result struct {
+	// Application identity.
+	App       string `json:"app"`
+	AppHash   string `json:"app_hash"`
+	Cores     int    `json:"cores"`
+	Packets   int    `json:"packets"`
+	TotalBits int64  `json:"total_bits"`
+
+	// Instance parameters.
+	Grid     string `json:"grid"`     // "WxHxD"
+	Topology string `json:"topology"` // mesh | torus
+	Routing  string `json:"routing"`
+	FlitBits int    `json:"flit_bits"`
+	Tech     string `json:"tech"`
+	Model    string `json:"model"`
+	Method   string `json:"method"`
+	Seed     int64  `json:"seed"`
+	Restarts int    `json:"restarts"`
+
+	// Search outcome.
+	Mapping      []int   `json:"mapping"` // core index -> tile index
+	BestCost     float64 `json:"best_cost_j"`
+	InitialCost  float64 `json:"initial_cost_j"`
+	Evaluations  int64   `json:"evaluations"`
+	Improvements int64   `json:"improvements"`
+	Certified    bool    `json:"certified"`
+
+	// CDCM pricing of the winner (cost breakdown).
+	ExecCycles       int64   `json:"exec_cycles"`
+	ExecNS           float64 `json:"exec_ns"`
+	ContentionCycles int64   `json:"contention_cycles"`
+	TSVBits          int64   `json:"tsv_bits"`
+	DynamicJ         float64 `json:"dynamic_j"`
+	StaticJ          float64 `json:"static_j"`
+	TotalJ           float64 `json:"total_j"`
+}
+
+// NewResult builds the shared result record from one exploration.
+func NewResult(in *Instance, res *core.ExploreResult) *Result {
+	mp := make([]int, len(res.Best))
+	for c, t := range res.Best {
+		mp[c] = int(t)
+	}
+	name := in.G.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	met := res.Metrics
+	return &Result{
+		App:       name,
+		AppHash:   in.G.Hash(),
+		Cores:     in.G.NumCores(),
+		Packets:   in.G.NumPackets(),
+		TotalBits: in.G.TotalBits(),
+
+		Grid:     in.GridSpec(),
+		Topology: in.Mesh.Kind().String(),
+		Routing:  in.Cfg.Routing.String(),
+		FlitBits: in.Cfg.FlitBits,
+		Tech:     in.Tech.Name,
+		Model:    in.Strategy.String(),
+		Method:   in.Method.String(),
+		Seed:     in.Opts.Seed,
+		Restarts: in.Opts.Restarts,
+
+		Mapping:      mp,
+		BestCost:     res.Search.BestCost,
+		InitialCost:  res.Search.InitialCost,
+		Evaluations:  res.Search.Evaluations,
+		Improvements: res.Search.Improvements,
+		Certified:    res.Search.Certified,
+
+		ExecCycles:       met.ExecCycles,
+		ExecNS:           met.ExecNS,
+		ContentionCycles: met.ContentionCycles,
+		TSVBits:          met.TSVBits,
+		DynamicJ:         met.Energy.Dynamic,
+		StaticJ:          met.Energy.Static,
+		TotalJ:           met.Total(),
+	}
+}
+
+// CLIResult is the envelope `nocmap -json` emits: the deterministic
+// Result plus wall-clock elapsed time, kept outside Result so repeated
+// identical runs differ only in the envelope.
+type CLIResult struct {
+	Result    *Result `json:"result"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// WriteCLI encodes the CLI envelope as indented JSON.
+func WriteCLI(w io.Writer, res *Result, elapsed time.Duration) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(CLIResult{Result: res, ElapsedMS: float64(elapsed.Nanoseconds()) / 1e6})
+}

@@ -1,0 +1,350 @@
+// Package service is the mapping-as-a-service layer of the repository:
+// a job queue, a canonical-instance result cache and cancellable search
+// execution behind an HTTP/JSON API (cmd/nocd).
+//
+// One Server owns a bounded par.Pool of compute workers, a bounded
+// submission queue with explicit backpressure (full queue = rejected
+// submission, HTTP 429), and an LRU cache keyed by the canonical content
+// hash of the resolved instance (Instance.Key, built on
+// model.CDCG.Hash). Identical instances are deduplicated at every stage:
+// a submission matching a cached key completes instantly from the cache;
+// one matching an in-flight computation attaches to it as a follower and
+// shares the single compute. Because search results are deterministic
+// under a fixed seed and Result contains no wall-clock state, all three
+// paths serve byte-identical result JSON.
+//
+// Cancellation runs on context.Context threaded through core.Explore
+// into every search engine; progress streams out of the same plumbing
+// via search.ProgressFunc into per-job event subscriptions.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sync"
+
+	"repro/internal/par"
+	"repro/internal/search"
+)
+
+// Errors the HTTP layer maps to status codes (ErrBadRequest lives in
+// request.go).
+var (
+	// ErrQueueFull reports that the bounded job queue refused a
+	// submission — backpressure, HTTP 429.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrShuttingDown reports a submission during drain — HTTP 503.
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// Config sizes a Server. Zero values pick daemon defaults.
+type Config struct {
+	// Workers is the compute-pool size (0 = one per logical CPU).
+	Workers int
+	// QueueSize bounds jobs submitted but not yet started (0 = 64).
+	QueueSize int
+	// CacheSize bounds the result LRU in entries (0 = 256).
+	CacheSize int
+	// MaxJobs bounds retained job records; once exceeded, the oldest
+	// terminal jobs are forgotten (0 = 4096). Active jobs are never
+	// evicted.
+	MaxJobs int
+}
+
+type metrics struct {
+	submitted, rejected             atomic.Int64
+	completed, failed, canceled     atomic.Int64
+	cacheHits, cacheMisses, compute atomic.Int64
+}
+
+// Server is the mapping service: submit with Submit, look up with Job,
+// stop with Shutdown. The HTTP API in http.go is a thin layer over these
+// methods, so in-process callers (tests, benchmarks, future batch
+// front-ends) get the same semantics as network clients.
+type Server struct {
+	pool       *par.Pool
+	cache      *lruCache
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	maxJobs    int
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int64
+	jobs     map[string]*Job
+	order    []string // submission order, for bounded retention
+	inflight map[string]*Job
+	m        metrics
+}
+
+// New builds and starts a Server.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = par.DefaultWorkers()
+	}
+	queue := cfg.QueueSize
+	if queue == 0 {
+		queue = 64
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = 256
+	}
+	maxJobs := cfg.MaxJobs
+	if maxJobs == 0 {
+		maxJobs = 4096
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		pool:       par.NewPool(workers, queue),
+		cache:      newLRU(cacheSize),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		maxJobs:    maxJobs,
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+	}
+}
+
+// Submit resolves, keys and enqueues one request. It returns the created
+// job, which is already terminal on a cache hit. Errors: ErrBadRequest
+// (invalid request), ErrQueueFull (backpressure), ErrShuttingDown.
+func (s *Server) Submit(req *Request) (*Job, error) {
+	in, err := req.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	key := in.Key()
+	now := time.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.m.rejected.Add(1)
+		return nil, ErrShuttingDown
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("j-%06d", s.nextID), key, in, now)
+
+	if raw, ok := s.cache.Get(key); ok {
+		s.m.submitted.Add(1)
+		s.m.cacheHits.Add(1)
+		s.retain(j)
+		j.finish(raw, nil, true, now)
+		s.m.completed.Add(1)
+		return j, nil
+	}
+	if leader, ok := s.inflight[key]; ok {
+		// Attach to the in-flight computation: one compute, N results.
+		s.m.submitted.Add(1)
+		s.m.cacheHits.Add(1)
+		j.leader = leader
+		leader.followers = append(leader.followers, j)
+		s.retain(j)
+		return j, nil
+	}
+
+	if !s.pool.TrySubmit(func() { s.runJob(j) }) {
+		s.m.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.m.submitted.Add(1)
+	s.m.cacheMisses.Add(1)
+	s.inflight[key] = j
+	s.retain(j)
+	return j, nil
+}
+
+// retain records a job and evicts the oldest terminal records beyond
+// MaxJobs. Active jobs are never evicted: the scan skips over them to
+// the oldest terminal record, so a long-running job at the head cannot
+// pin an unbounded tail of finished records behind it. Caller holds
+// s.mu.
+func (s *Server) retain(j *Job) {
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	overflow := len(s.order) - s.maxJobs
+	if overflow <= 0 {
+		return
+	}
+	var active []string
+	i := 0
+	for ; i < len(s.order) && overflow > 0; i++ {
+		id := s.order[i]
+		old, ok := s.jobs[id]
+		if !ok {
+			overflow--
+			continue
+		}
+		if old.Status().State.Terminal() {
+			delete(s.jobs, id)
+			overflow--
+		} else {
+			active = append(active, id)
+		}
+	}
+	s.order = append(active, s.order[i:]...)
+}
+
+// Job returns a tracked job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a job: a queued job is finished as
+// canceled before it ever computes, a running job's context is canceled
+// and the search engines stop at their next poll, and a follower is
+// detached without disturbing the shared computation. Canceling a
+// terminal job is a no-op. The second return reports whether the job
+// exists.
+func (s *Server) Cancel(id string) (*Job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	if j.leader != nil {
+		// Detach the follower; the leader's compute (and its other
+		// followers) continue undisturbed.
+		l := j.leader
+		for i, f := range l.followers {
+			if f == j {
+				l.followers = append(l.followers[:i], l.followers[i+1:]...)
+				break
+			}
+		}
+		j.leader = nil
+		s.mu.Unlock()
+		if j.finish(nil, context.Canceled, false, time.Now()) {
+			s.m.canceled.Add(1)
+		}
+		return j, true
+	}
+	// Leader (or sole) job: remove it from the in-flight index so new
+	// identical submissions start a fresh compute, then cancel.
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	followers := j.followers
+	j.followers = nil
+	for _, f := range followers {
+		f.leader = nil
+	}
+	s.mu.Unlock()
+
+	j.requestCancel()
+	if j.Status().State == StateQueued {
+		// The pool has not reached it yet; finish now so the caller sees
+		// a terminal state immediately. runJob's later start() fails and
+		// its finish is a no-op.
+		if j.finish(nil, context.Canceled, false, time.Now()) {
+			s.m.canceled.Add(1)
+		}
+	}
+	// The shared computation is gone; followers cancel with it.
+	for _, f := range followers {
+		if f.finish(nil, fmt.Errorf("%w (shared computation canceled)", context.Canceled), false, time.Now()) {
+			s.m.canceled.Add(1)
+		}
+	}
+	return j, true
+}
+
+// runJob executes one leader job on a pool worker.
+func (s *Server) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.start(cancel, time.Now()) {
+		// Canceled while queued; Cancel normally finished it already, so
+		// this finish is usually a no-op.
+		if j.finish(nil, context.Canceled, false, time.Now()) {
+			s.m.canceled.Add(1)
+		}
+		return
+	}
+	s.m.compute.Add(1)
+	res, err := j.in.Explore(ctx, func(p search.Progress) { j.publishProgress(p) })
+	var raw json.RawMessage
+	if err == nil {
+		raw, err = json.Marshal(NewResult(j.in, res))
+	}
+	s.finishLeader(j, raw, err)
+}
+
+// finishLeader completes a leader job and everything attached to it, and
+// feeds the cache on success.
+func (s *Server) finishLeader(j *Job, raw json.RawMessage, err error) {
+	now := time.Now()
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	followers := j.followers
+	j.followers = nil
+	for _, f := range followers {
+		f.leader = nil
+	}
+	if err == nil {
+		s.cache.Add(j.key, raw)
+	}
+	s.mu.Unlock()
+
+	if j.finish(raw, err, false, now) {
+		s.countFinish(err)
+	}
+	for _, f := range followers {
+		var ferr error
+		if err != nil {
+			ferr = fmt.Errorf("shared computation: %w", err)
+		}
+		if f.finish(raw, ferr, true, now) {
+			s.countFinish(ferr)
+		}
+	}
+}
+
+func (s *Server) countFinish(err error) {
+	switch {
+	case err == nil:
+		s.m.completed.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.m.canceled.Add(1)
+	default:
+		s.m.failed.Add(1)
+	}
+}
+
+// Shutdown drains the service: new submissions are refused, queued and
+// running jobs finish, and the compute pool exits. If ctx expires first,
+// the remaining jobs are canceled (they finish promptly as canceled) and
+// Shutdown returns ctx.Err() after they do.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.pool.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // cancel in-flight searches; they stop at next poll
+		<-done
+		return ctx.Err()
+	}
+}
