@@ -130,7 +130,9 @@ func BenchmarkFigure2CWMEvaluation(b *testing.B) {
 }
 
 // BenchmarkFigure3CDCMEvaluation measures the CDCM simulation of the
-// paper example (the Figure-3 computation: 6 packets, contention, texec).
+// paper example (the Figure-3 computation: 6 packets, contention, texec)
+// on the search engines' evaluation hot path: one warm scratch per lane,
+// allocation-free in steady state (RunScratch).
 func BenchmarkFigure3CDCMEvaluation(b *testing.B) {
 	mesh, _ := topology.NewMesh(2, 2)
 	sim, err := wormhole.NewSimulator(mesh, noc.PaperExample(), model.PaperExampleCDCG())
@@ -138,9 +140,14 @@ func BenchmarkFigure3CDCMEvaluation(b *testing.B) {
 		b.Fatal(err)
 	}
 	mp := mapping.Mapping{1, 0, 3, 2}
+	sc := sim.NewScratch()
+	if _, err := sim.RunScratch(mp, sc); err != nil { // warm the scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(mp)
+		res, err := sim.RunScratch(mp, sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -198,6 +205,7 @@ func BenchmarkEvaluatorCWM(b *testing.B) {
 	if _, err := cwm.Cost(mp); err != nil { // warm route cache
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cwm.Cost(mp); err != nil {
@@ -213,12 +221,40 @@ func BenchmarkEvaluatorCDCM(b *testing.B) {
 		b.Fatal(err)
 	}
 	mp := mapping.Identity(g.NumCores())
+	if _, err := cdcm.Cost(mp); err != nil { // warm the scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cdcm.Cost(mp); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEvaluatorCDCMParallel measures concurrent CDCM evaluation of
+// the same large instance: one shared simulator core, one clone (scratch)
+// per goroutine — the configuration every parallel search engine runs.
+func BenchmarkEvaluatorCDCMParallel(b *testing.B) {
+	mesh, cfg, g := largeInstance(b)
+	cdcm, err := core.NewCDCM(mesh, cfg, energy.Tech007, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp := mapping.Identity(g.NumCores())
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		lane := cdcm.Clone()
+		for pb.Next() {
+			if _, err := lane.Cost(mp); err != nil {
+				// Fatal must not run off the benchmark goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkCPUTimeRatio reports the measured CDCM/CWM per-evaluation cost

@@ -23,6 +23,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only when -pprof is set
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,11 +40,12 @@ func main() {
 		queue     = flag.Int("queue", 64, "bounded job-queue capacity (full queue rejects with 429)")
 		cacheSize = flag.Int("cache", 256, "result-cache entries (LRU, keyed by canonical instance hash)")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are canceled")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	if err := run(*addr, *workers, *queue, *cacheSize, *drain, stop, os.Stderr, nil); err != nil {
+	if err := run(*addr, *pprofAddr, *workers, *queue, *cacheSize, *drain, stop, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "nocd:", err)
 		os.Exit(1)
 	}
@@ -52,14 +54,28 @@ func main() {
 // run starts the daemon and blocks until a signal arrives on stop, then
 // drains and returns. When ready is non-nil it receives the bound listen
 // address once the server accepts connections (tests use it to pick a
-// free port with addr "127.0.0.1:0").
-func run(addr string, workers, queue, cacheSize int, drainTimeout time.Duration,
+// free port with addr "127.0.0.1:0"). A non-empty pprofAddr serves the
+// net/http/pprof handlers on a second, separate listener, so profiling
+// stays off the API port (and off by default).
+func run(addr, pprofAddr string, workers, queue, cacheSize int, drainTimeout time.Duration,
 	stop <-chan os.Signal, logw io.Writer, ready chan<- string) error {
 
 	svc := service.New(service.Config{Workers: workers, QueueSize: queue, CacheSize: cacheSize})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
+	}
+	if pprofAddr != "" {
+		pln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		// DefaultServeMux carries the pprof registrations from the blank
+		// import; nothing else is registered on it.
+		go http.Serve(pln, nil)
+		fmt.Fprintf(logw, "nocd: pprof on http://%s/debug/pprof/\n", pln.Addr())
 	}
 	httpSrv := &http.Server{
 		Handler: svc.Handler(),

@@ -5,7 +5,9 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"regexp"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -22,7 +24,7 @@ func startDaemon(t *testing.T) (url string, stop chan os.Signal, exited chan err
 	ready := make(chan string, 1)
 	exited = make(chan error, 1)
 	go func() {
-		exited <- run("127.0.0.1:0", 2, 16, 32, 30*time.Second, stop, io.Discard, ready)
+		exited <- run("127.0.0.1:0", "", 2, 16, 32, 30*time.Second, stop, io.Discard, ready)
 	}()
 	select {
 	case addr := <-ready:
@@ -104,8 +106,69 @@ func TestDaemonEndToEndAndSIGTERMDrain(t *testing.T) {
 
 func TestDaemonRejectsBadListenAddr(t *testing.T) {
 	stop := make(chan os.Signal, 1)
-	if err := run("256.256.256.256:1", 1, 1, 1, time.Second, stop, io.Discard, nil); err == nil {
+	if err := run("256.256.256.256:1", "", 1, 1, 1, time.Second, stop, io.Discard, nil); err == nil {
 		t.Fatal("invalid listen address accepted")
+	}
+}
+
+func TestDaemonRejectsBadPprofAddr(t *testing.T) {
+	stop := make(chan os.Signal, 1)
+	if err := run("127.0.0.1:0", "256.256.256.256:1", 1, 1, 1, time.Second, stop, io.Discard, nil); err == nil {
+		t.Fatal("invalid pprof address accepted")
+	}
+}
+
+// lockedBuf is a mutex-guarded log sink: run writes from the daemon
+// goroutine, the test reads after ready fires.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestDaemonServesPprof boots with -pprof bound to an OS-assigned port
+// (no probe-close-rebind race) and checks the profile index answers on
+// the address the daemon logged.
+func TestDaemonServesPprof(t *testing.T) {
+	stop := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	exited := make(chan error, 1)
+	var logw lockedBuf
+	go func() {
+		exited <- run("127.0.0.1:0", "127.0.0.1:0", 1, 4, 8, 30*time.Second, stop, &logw, ready)
+	}()
+	select {
+	case <-ready:
+	case err := <-exited:
+		t.Fatalf("daemon died on startup: %v", err)
+	}
+	// run logs the bound pprof address before signalling ready.
+	m := regexp.MustCompile(`pprof on (http://[^/]+)/`).FindStringSubmatch(logw.String())
+	if m == nil {
+		t.Fatalf("pprof address not logged:\n%s", logw.String())
+	}
+	resp, err := http.Get(m[1] + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof endpoint: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d", resp.StatusCode)
+	}
+	stop <- syscall.SIGTERM
+	if err := <-exited; err != nil {
+		t.Fatal(err)
 	}
 }
 

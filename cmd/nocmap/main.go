@@ -38,6 +38,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -51,25 +52,27 @@ import (
 // options collects the CLI flags; run is kept flag-free so tests drive it
 // directly.
 type options struct {
-	appPath  string
-	demo     bool
-	mesh     string
-	topo     string
-	depth    int
-	model    string
-	method   string
-	tech     string
-	routing  string
-	seed     int64
-	gantt    bool
-	annotate bool
-	jsonOut  bool
-	format   string
-	flits    int
-	restarts int
-	workers  int
-	stdin    io.Reader
-	stdout   io.Writer
+	appPath    string
+	demo       bool
+	mesh       string
+	topo       string
+	depth      int
+	model      string
+	method     string
+	tech       string
+	routing    string
+	seed       int64
+	gantt      bool
+	annotate   bool
+	jsonOut    bool
+	format     string
+	flits      int
+	restarts   int
+	workers    int
+	cpuProfile string
+	memProfile string
+	stdin      io.Reader
+	stdout     io.Writer
 }
 
 func main() {
@@ -91,6 +94,8 @@ func main() {
 	flag.IntVar(&o.flits, "flitbits", 1, "link width in bits per flit")
 	flag.IntVar(&o.restarts, "restarts", 1, "independent SA restarts (seeds seed..seed+n-1, best wins)")
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "parallel worker goroutines (results are seed-deterministic for any value)")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the exploration to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile (taken after the run) to this file")
 	flag.Parse()
 	o.stdin = os.Stdin
 	o.stdout = os.Stdout
@@ -147,6 +152,33 @@ func run(o options) error {
 	if err != nil {
 		// The service prefix is HTTP-facing noise on a CLI.
 		return errors.New(strings.TrimPrefix(err.Error(), service.ErrBadRequest.Error()+": "))
+	}
+
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if o.memProfile != "" {
+		// Created eagerly so a bad path fails the run up front; the
+		// profile itself is written after the exploration completes.
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "nocmap: -memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	start := time.Now()

@@ -275,3 +275,35 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestRunWritesProfiles drives the -cpuprofile/-memprofile flags end to
+// end and checks both profile files exist and are non-empty.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	if err := run(options{demo: true, mesh: "2x2", topo: "mesh", model: "cdcm", method: "sa",
+		tech: "0.07um", routing: "xy", seed: 1, flits: 1, restarts: 1, workers: 1,
+		cpuProfile: cpu, memProfile: mem, stdout: io.Discard}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	if err := run(options{demo: true, mesh: "2x2", topo: "mesh", model: "cwm", method: "sa",
+		tech: "0.07um", routing: "xy", seed: 1, flits: 1, restarts: 1, workers: 1,
+		cpuProfile: filepath.Join(dir, "missing", "cpu.out"), stdout: io.Discard}); err == nil {
+		t.Fatal("uncreatable -cpuprofile path accepted")
+	}
+	if err := run(options{demo: true, mesh: "2x2", topo: "mesh", model: "cwm", method: "sa",
+		tech: "0.07um", routing: "xy", seed: 1, flits: 1, restarts: 1, workers: 1,
+		memProfile: filepath.Join(dir, "missing", "mem.out"), stdout: io.Discard}); err == nil {
+		t.Fatal("uncreatable -memprofile path accepted")
+	}
+}

@@ -19,7 +19,7 @@
 // internal/par. Worker count is a pure wall-clock lever: for a fixed
 // seed, results are bit-identical for every Workers value.
 //
-// The search hot path is incremental: CWM implements
+// The search hot path is fast in two model-specific ways. CWM implements
 // search.DeltaObjective (Reset / SwapDelta / Commit), pricing a proposed
 // tile swap in O(deg) over per-core adjacency lists instead of re-walking
 // all |E| edges. Because EDyNoC is linear in the integer traffic
@@ -28,8 +28,17 @@
 // automatically and return the same Best mapping either way, ~5.6x
 // faster per evaluation on an 8x8/16-core instance and further ahead as
 // instances grow (see README "Incremental (delta) evaluation"). CDCM
-// keeps the full simulator path: contention is global, so no cheap swap
-// delta exists.
+// keeps the full simulator path — contention is global, so no cheap swap
+// delta exists — but that simulation is allocation-free in steady state:
+// wormhole.Simulator precomputes the full route table and dense
+// port/link adjacency tables once and is immutable afterwards, while all
+// mutable run state (busy lists, event heap, reusable Result backing)
+// lives in a per-lane wormhole.Scratch. core.CDCM.Clone hands each
+// search worker its own scratch lane over the shared simulator core, so
+// parallel CDCM-objective searches scale with Workers and stay
+// bit-identical to the serial path. Per-resource occupancy recording is
+// opt-in (Simulator/Scratch RecordOccupancy) and only enabled by the
+// trace/Gantt renderers (see README "Allocation-free CDCM evaluation").
 //
 // The framework also runs as a long-lived service: internal/service plus
 // cmd/nocd expose submission, status, cancellation and progress streaming

@@ -235,12 +235,20 @@ func (m Metrics) Total() float64 { return m.Energy.Total() }
 
 // CDCM is the communication dependence and computation model evaluator:
 // it executes the CDCG on the mapped NoC (wormhole simulator) and prices
-// the result with equation (10). Not safe for concurrent use; create one
-// per goroutine.
+// the result with equation (10).
+//
+// The simulator core (route tables, port tables, dependence graph) is
+// immutable and shared; the mutable per-run state lives in a private
+// wormhole.Scratch. One CDCM is therefore cheap to Clone: clones share
+// the simulator and get their own scratch, which is how the parallel
+// search engines evaluate the CDCM objective concurrently without
+// rebuilding or locking anything. A single CDCM instance is still not
+// safe for concurrent use — give each goroutine its own clone.
 type CDCM struct {
 	Tech energy.Tech
 
 	sim *wormhole.Simulator
+	sc  *wormhole.Scratch
 }
 
 // NewCDCM validates the inputs and builds the evaluator.
@@ -252,7 +260,15 @@ func NewCDCM(mesh *topology.Mesh, cfg noc.Config, tech energy.Tech, g *model.CDC
 	if err != nil {
 		return nil, err
 	}
-	return &CDCM{Tech: tech, sim: sim}, nil
+	return &CDCM{Tech: tech, sim: sim, sc: sim.NewScratch()}, nil
+}
+
+// Clone returns an independent evaluator lane sharing this evaluator's
+// immutable simulator core: construction cost is one scratch allocation,
+// no re-validation and no route recomputation. Clones may run
+// concurrently with each other and with the original.
+func (c *CDCM) Clone() *CDCM {
+	return &CDCM{Tech: c.Tech, sim: c.sim, sc: c.sim.NewScratch()}
 }
 
 // Simulator exposes the underlying wormhole simulator (e.g. to flip
@@ -266,9 +282,11 @@ func (c *CDCM) Evaluate(mp mapping.Mapping) (Metrics, error) {
 
 // EvaluateWith runs the simulation and prices it under an arbitrary
 // technology profile — the Table-2 protocol prices the same pair of
-// mappings under both 0.35µm and 0.07µm.
+// mappings under both 0.35µm and 0.07µm. The run takes the scratch path
+// (allocation-free in steady state); Metrics copies everything out, so
+// nothing retains the scratch.
 func (c *CDCM) EvaluateWith(mp mapping.Mapping, tech energy.Tech) (Metrics, error) {
-	res, err := c.sim.Run(mp)
+	res, err := c.sim.RunScratch(mp, c.sc)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -296,6 +314,8 @@ func (c *CDCM) price(res *wormhole.Result, tech energy.Tech) Metrics {
 }
 
 // Cost implements search.Objective: ENoC of equation (10), in joules.
+// It runs on the evaluator's scratch, so the search engines pay no heap
+// allocation per candidate once the scratch is warm.
 func (c *CDCM) Cost(mp mapping.Mapping) (float64, error) {
 	m, err := c.Evaluate(mp)
 	if err != nil {
@@ -305,9 +325,14 @@ func (c *CDCM) Cost(mp mapping.Mapping) (float64, error) {
 }
 
 // Simulate runs the CDCG on a mapping and returns the raw wormhole result
-// (timeline, occupancies) together with the priced metrics.
+// (timeline, occupancies) together with the priced metrics. Unlike the
+// Cost/Evaluate hot path the returned Result has fresh backing arrays —
+// independent of the evaluator and safe to keep across later evaluations
+// (the trace/Gantt renderers rely on that). It runs on this evaluator's
+// own scratch, so clones may Simulate concurrently like they Cost
+// concurrently.
 func (c *CDCM) Simulate(mp mapping.Mapping) (*wormhole.Result, Metrics, error) {
-	res, err := c.sim.Run(mp)
+	res, err := c.sim.RunFresh(mp, c.sc)
 	if err != nil {
 		return nil, Metrics{}, err
 	}

@@ -152,15 +152,24 @@ type ExploreResult struct {
 func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy.Tech,
 	g *model.CDCG, opts Options) (*ExploreResult, error) {
 
-	// The evaluators are stateful (CWM route cache, CDCM simulator), so
-	// the parallel engines receive a factory and build one per worker
-	// lane; the serial engines call it once.
+	// The evaluators are stateful (CWM route cache + delta binding, CDCM
+	// scratch), so the parallel engines receive a factory and build one
+	// per worker lane; the serial engines call it once. For CDCM the
+	// factory hands out clones of one shared evaluator: the simulator
+	// core (route/port tables, dependence graph) is built and validated
+	// once, each lane gets only its own scratch, and the lanes run
+	// concurrently against the shared immutable core.
 	var newObjective search.ObjectiveFactory
+	var cdcmBase *CDCM
 	switch strategy {
 	case StrategyCWM:
 		newObjective = func() (search.Objective, error) { return NewCWM(mesh, cfg, tech, g.ToCWG()) }
 	case StrategyCDCM:
-		newObjective = func() (search.Objective, error) { return NewCDCM(mesh, cfg, tech, g) }
+		var err error
+		if cdcmBase, err = NewCDCM(mesh, cfg, tech, g); err != nil {
+			return nil, err
+		}
+		newObjective = func() (search.Objective, error) { return cdcmBase.Clone(), nil }
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %d", strategy)
 	}
@@ -231,9 +240,14 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 		}
 	}
 
-	pricer, err := NewCDCM(mesh, cfg, tech, g)
-	if err != nil {
-		return nil, err
+	// Price the winner with the CDCM simulator. A CDCM-driven run already
+	// built the shared simulator core; reuse it instead of recomputing
+	// the route tables.
+	pricer := cdcmBase
+	if pricer == nil {
+		if pricer, err = NewCDCM(mesh, cfg, tech, g); err != nil {
+			return nil, err
+		}
 	}
 	metrics, err := pricer.Evaluate(res.Best)
 	if err != nil {

@@ -29,18 +29,31 @@ func (m Mapping) Clone() Mapping {
 
 // Validate checks that every core is placed on a distinct, in-range tile.
 func (m Mapping) Validate(numTiles int) error {
+	return m.ValidateInto(numTiles, make([]model.CoreID, numTiles))
+}
+
+// ValidateInto is Validate with a caller-owned occupancy buffer: it
+// reports exactly the same errors without allocating, which is what lets
+// per-run mapping validation stay on the simulator's allocation-free hot
+// path. seen must hold at least numTiles entries; its contents are
+// overwritten (and carry the tile→core view of a valid mapping on
+// return).
+func (m Mapping) ValidateInto(numTiles int, seen []model.CoreID) error {
 	if len(m) == 0 {
 		return fmt.Errorf("mapping: empty")
 	}
 	if len(m) > numTiles {
 		return fmt.Errorf("mapping: %d cores cannot be placed injectively on %d tiles", len(m), numTiles)
 	}
-	seen := make(map[topology.TileID]model.CoreID, len(m))
+	seen = seen[:numTiles]
+	for i := range seen {
+		seen[i] = Unassigned
+	}
 	for c, t := range m {
 		if int(t) < 0 || int(t) >= numTiles {
 			return fmt.Errorf("mapping: core %d on tile %d outside [0,%d)", c, t, numTiles)
 		}
-		if prev, dup := seen[t]; dup {
+		if prev := seen[t]; prev != Unassigned {
 			return fmt.Errorf("mapping: cores %d and %d share tile %d", prev, c, t)
 		}
 		seen[t] = model.CoreID(c)

@@ -227,3 +227,57 @@ func TestIdentity(t *testing.T) {
 		}
 	}
 }
+
+// TestValidateIntoMatchesValidate pins the allocation-free validation
+// path against Validate: same verdict and same error text on every
+// class of invalid mapping, with the buffer reused across calls.
+func TestValidateIntoMatchesValidate(t *testing.T) {
+	seen := make([]model.CoreID, 16)
+	cases := []struct {
+		name     string
+		m        Mapping
+		numTiles int
+	}{
+		{"valid", Mapping{3, 0, 2}, 4},
+		{"empty", Mapping{}, 4},
+		{"too-many-cores", Mapping{0, 1, 2}, 2},
+		{"tile-out-of-range", Mapping{0, 9}, 4},
+		{"negative-tile", Mapping{0, -1}, 4},
+		{"duplicate-tile", Mapping{2, 0, 2}, 4},
+	}
+	for _, c := range cases {
+		want := c.m.Validate(c.numTiles)
+		got := c.m.ValidateInto(c.numTiles, seen)
+		switch {
+		case want == nil && got == nil:
+		case want == nil || got == nil:
+			t.Errorf("%s: ValidateInto = %v, Validate = %v", c.name, got, want)
+		case want.Error() != got.Error():
+			t.Errorf("%s: error text diverged:\n into: %s\n full: %s", c.name, got, want)
+		}
+	}
+	// The buffer carries the tile→core view of the last valid mapping.
+	if err := (Mapping{3, 0, 2}).ValidateInto(4, seen); err != nil {
+		t.Fatal(err)
+	}
+	wantSeen := []model.CoreID{1, Unassigned, 2, 0}
+	for tl, c := range wantSeen {
+		if seen[tl] != c {
+			t.Fatalf("seen[%d] = %d, want %d", tl, seen[tl], c)
+		}
+	}
+}
+
+// TestValidateIntoZeroAlloc: the point of the scratch buffer.
+func TestValidateIntoZeroAlloc(t *testing.T) {
+	m := Mapping{3, 0, 2, 1}
+	seen := make([]model.CoreID, 8)
+	allocs := testing.AllocsPerRun(32, func() {
+		if err := m.ValidateInto(8, seen); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ValidateInto allocates %.1f objects/run, want 0", allocs)
+	}
+}

@@ -16,6 +16,13 @@
 // Cancellation runs on context.Context threaded through core.Explore
 // into every search engine; progress streams out of the same plumbing
 // via search.ProgressFunc into per-job event subscriptions.
+//
+// Job computes inherit the evaluator fast paths of core.Explore: CWM
+// jobs price candidate swaps incrementally (search.DeltaObjective), and
+// CDCM jobs run the allocation-free wormhole scratch lanes — one shared
+// immutable simulator core per job, one wormhole.Scratch per search
+// worker (core.CDCM.Clone) — so a daemon under load allocates almost
+// nothing per evaluated mapping.
 package service
 
 import (

@@ -149,23 +149,85 @@ func (r *Result) Occupancies(kind ResourceKind, index int) []Occupancy {
 	return ls[index].snapshot()
 }
 
-// Simulator evaluates mappings of one CDCG on one NoC. It is reusable: Run
-// may be called many times with different mappings (the annealer's hot
-// path); scratch state is recycled between runs. A Simulator is not safe
-// for concurrent use; create one per goroutine.
+// Simulator evaluates mappings of one CDCG on one NoC. Everything bound
+// at NewSimulator time — the full route table, the dense
+// (tile, nextTile) → output-port and → link tables, flit counts and the
+// dependence graph — is immutable afterwards, so one Simulator is safe to
+// share across goroutines as long as each goroutine runs with its own
+// Scratch (NewScratch + RunScratch): that is how the parallel search
+// engines evaluate the CDCM objective concurrently without re-parsing or
+// locking.
+//
+// Run is the one-goroutine convenience path: it lazily keeps a private
+// internal scratch, so a Simulator used via Run is NOT safe for
+// concurrent use.
 type Simulator struct {
 	Mesh *topology.Mesh
 	Cfg  noc.Config
 	G    *model.CDCG
 
-	// RecordOccupancy keeps the per-resource busy lists on the Result for
-	// rendering (Figure 3/4/5 style output). Leave false in search loops.
+	// RecordOccupancy keeps the per-resource busy lists on Results
+	// returned by Run, for rendering (Figure 3/4/5 style output). Leave
+	// false in search loops — recording snapshots every resource's full
+	// occupancy history, which only the trace/Gantt consumers need.
+	// RunScratch ignores it; set Scratch.RecordOccupancy instead.
 	RecordOccupancy bool
 
-	dg *graph.Digraph
+	dg       *graph.Digraph
+	numTiles int
 	// vertLink[li] marks vertical (TSV) links; nil on depth-1 grids so
 	// the 2-D hot loop pays one nil check, nothing more.
-	vertLink    []bool
+	vertLink []bool
+	flits    []int64
+	// baseIndeg and initHeap are the dependence state every run starts
+	// from: per-packet in-degrees and the heap of source packets (keyed
+	// by their compute time). Precomputing them turns per-run scheduling
+	// setup into two copies.
+	baseIndeg []int
+	initHeap  []pktKey
+
+	// The full route table, precomputed at construction: the route from
+	// src to dst is routeData[routeOff[src*n+dst]:routeOff[src*n+dst+1]].
+	// Flattening into one backing array keeps the table cache-friendly
+	// and the lookup branch-free — no lazy fill, so concurrent RunScratch
+	// lanes never write here. Memory is O(n²·avg-route-length), the same
+	// order as the lazy per-pair cache it replaces once a search has
+	// touched every pair (which annealing does). Construction costs one
+	// Route call per tile pair (~6.5 ms on a 12x10 grid) — noise against
+	// any search, noticeable only when a Simulator is built to price a
+	// single mapping.
+	routeOff  []int32
+	routeData []topology.TileID
+	// portOf[from*n+to] is the dense output-port index for leaving tile
+	// `from` towards adjacent tile `to` (diagonal entries hold the local
+	// port); linkOf[from*n+to] the dense link index. -1 where the tiles
+	// are not adjacent. They replace the per-hop linear neighbor scans of
+	// Mesh.Neighbor/LinkIndex on the hot path.
+	portOf []int32
+	linkOf []int32
+
+	scratch  *Scratch // lazily built by Run; nil until then
+	initOnce bool
+}
+
+// Scratch is the mutable per-lane state of one simulation: busy lists,
+// the event heap, dependence counters and the reusable Result backing
+// arrays. Results returned by RunScratch point into the scratch and are
+// valid only until its next RunScratch — callers that keep a Result
+// across runs must copy what they need (or use Run, which returns an
+// independent Result).
+//
+// A Scratch belongs to the Simulator that created it and is not safe for
+// concurrent use; concurrency comes from running many scratches, one per
+// goroutine, against the same shared Simulator.
+type Scratch struct {
+	// RecordOccupancy keeps the per-resource busy lists on Results
+	// produced through this scratch (see Simulator.RecordOccupancy).
+	// Leave false on search lanes: the snapshot allocates.
+	RecordOccupancy bool
+
+	sim *Simulator
+
 	ports       []busyList
 	links       []busyList
 	coreOut     []busyList
@@ -173,11 +235,14 @@ type Simulator struct {
 	routerSpans []busyList // only filled when RecordOccupancy
 	indeg       []int
 	ready       []int64
-	routes      [][]topology.TileID // dense [src*n+dst] route cache
 	heap        pktHeap
-	flits       []int64
 	hops        []hopPlan
-	initOnce    bool
+	seen        []model.CoreID // mapping-validation buffer, reused per run
+
+	res        Result
+	packets    []PacketSchedule
+	routerBits []int64
+	linkBits   []int64
 }
 
 // hopPlan is one resource traversal of the packet currently being routed:
@@ -198,7 +263,7 @@ type hopPlan struct {
 // the plan and booked by the commit pass after backpressure extensions.
 // Unarbitrated resources acquire at arrival regardless of existing
 // bookings.
-func (s *Simulator) plan(list *busyList, arrival, hold, rate int64, arbitrated, isPort bool, pkt model.PacketID) int64 {
+func (s *Simulator) plan(sc *Scratch, list *busyList, arrival, hold, rate int64, arbitrated, isPort bool, pkt model.PacketID) int64 {
 	if s.Cfg.Buffers != noc.BuffersBounded {
 		if arbitrated {
 			return list.acquire(arrival, hold, pkt)
@@ -210,7 +275,7 @@ func (s *Simulator) plan(list *busyList, arrival, hold, rate int64, arbitrated, 
 	if arbitrated {
 		t = list.earliestFree(arrival, hold)
 	}
-	s.hops = append(s.hops, hopPlan{list: list, t: t, stall: t - arrival, hold: hold, rate: rate, isPort: isPort})
+	sc.hops = append(sc.hops, hopPlan{list: list, t: t, stall: t - arrival, hold: hold, rate: rate, isPort: isPort})
 	return t
 }
 
@@ -223,12 +288,12 @@ func (s *Simulator) plan(list *busyList, arrival, hold, rate int64, arbitrated, 
 // later packets via earliest-fit, but intervals already booked by earlier
 // packets are not re-planned (an exact treatment needs flit-level
 // simulation; see DESIGN.md). With unbounded buffers it is a no-op.
-func (s *Simulator) applyBackpressure(tl int64) {
+func (s *Simulator) applyBackpressure(sc *Scratch, tl int64) {
 	if s.Cfg.Buffers != noc.BuffersBounded {
 		return
 	}
-	for i := range s.hops {
-		hp := &s.hops[i]
+	for i := range sc.hops {
+		hp := &sc.hops[i]
 		if !hp.isPort {
 			continue
 		}
@@ -236,8 +301,8 @@ func (s *Simulator) applyBackpressure(tl int64) {
 		// (the upstream link, or tl off the source core), so a buffer
 		// downstream of a slow TSV link absorbs proportionally more stall.
 		feedRate := tl
-		if i > 0 && !s.hops[i-1].isPort {
-			feedRate = s.hops[i-1].rate
+		if i > 0 && !sc.hops[i-1].isPort {
+			feedRate = sc.hops[i-1].rate
 		}
 		capCycles := s.Cfg.BufferFlits * feedRate
 		if hp.stall <= capCycles {
@@ -247,12 +312,15 @@ func (s *Simulator) applyBackpressure(tl int64) {
 		// Extend the feeding link (hop i-1) and, if present, the port
 		// driving that link (hop i-2).
 		for back := 1; back <= 2 && i-back >= 0; back++ {
-			s.hops[i-back].hold += overflow
+			sc.hops[i-back].hold += overflow
 		}
 	}
 }
 
-// NewSimulator validates the inputs and prepares a reusable simulator.
+// NewSimulator validates the inputs and prepares a reusable simulator:
+// every route of the grid and the dense port/link adjacency tables are
+// computed here, once, so the run hot path is pure table lookups and the
+// shared state never mutates again.
 func NewSimulator(mesh *topology.Mesh, cfg noc.Config, g *model.CDCG) (*Simulator, error) {
 	if mesh == nil {
 		return nil, errors.New("wormhole: nil mesh")
@@ -272,105 +340,216 @@ func NewSimulator(mesh *topology.Mesh, cfg noc.Config, g *model.CDCG) (*Simulato
 	}
 	s := &Simulator{Mesh: mesh, Cfg: cfg, G: g, dg: dg}
 	n := mesh.NumTiles()
+	s.numTiles = n
 	if mesh.D() > 1 {
 		s.vertLink = make([]bool, mesh.NumLinks())
 		for i := range s.vertLink {
 			s.vertLink[i] = mesh.LinkVertical(i)
 		}
 	}
-	s.ports = make([]busyList, n*NumPorts)
-	s.links = make([]busyList, mesh.NumLinks())
-	s.coreOut = make([]busyList, n)
-	s.coreIn = make([]busyList, n)
-	s.routerSpans = make([]busyList, n)
-	s.indeg = make([]int, g.NumPackets())
-	s.ready = make([]int64, g.NumPackets())
-	s.routes = make([][]topology.TileID, n*n)
 	s.flits = make([]int64, g.NumPackets())
 	for i, p := range g.Packets {
 		s.flits[i] = cfg.Flits(p.Bits)
+	}
+	s.baseIndeg = make([]int, g.NumPackets())
+	var srcHeap pktHeap
+	for p := range g.Packets {
+		s.baseIndeg[p] = dg.InDegree(p)
+		if s.baseIndeg[p] == 0 {
+			srcHeap.push(pktKey{start: g.Packets[p].Compute, id: model.PacketID(p)})
+		}
+	}
+	s.initHeap = srcHeap.a
+
+	// Dense adjacency tables. Directions are scanned in the East..Up
+	// enumeration order and the first link between a tile pair wins,
+	// mirroring the scan the lazy path used (on small tori two directions
+	// can reach the same neighbor).
+	s.portOf = make([]int32, n*n)
+	s.linkOf = make([]int32, n*n)
+	for i := range s.portOf {
+		s.portOf[i] = -1
+		s.linkOf[i] = -1
+	}
+	for t := 0; t < n; t++ {
+		s.portOf[t*n+t] = int32(t*NumPorts + LocalPort)
+		for d := topology.East; d <= topology.Up; d++ {
+			nt, ok := mesh.Neighbor(topology.TileID(t), d)
+			if !ok || s.linkOf[t*n+int(nt)] >= 0 {
+				continue
+			}
+			li, ok := mesh.LinkIndex(topology.TileID(t), nt)
+			if !ok {
+				return nil, fmt.Errorf("wormhole: tiles %d and %d are not adjacent", t, nt)
+			}
+			s.portOf[t*n+int(nt)] = int32(t*NumPorts + int(d))
+			s.linkOf[t*n+int(nt)] = int32(li)
+		}
+	}
+
+	// Full route table, flattened. Route lengths are K = MinHops+1, which
+	// sizes the backing array exactly before the fill pass.
+	s.routeOff = make([]int32, n*n+1)
+	total := 0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			total += mesh.MinHops(topology.TileID(a), topology.TileID(b)) + 1
+		}
+	}
+	s.routeData = make([]topology.TileID, 0, total)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			r, err := mesh.Route(cfg.Routing, topology.TileID(a), topology.TileID(b))
+			if err != nil {
+				return nil, err
+			}
+			s.routeData = append(s.routeData, r.Tiles...)
+			s.routeOff[a*n+b+1] = int32(len(s.routeData))
+		}
 	}
 	s.initOnce = true
 	return s, nil
 }
 
-// route returns the (cached) deterministic route between two tiles.
-func (s *Simulator) route(src, dst topology.TileID) []topology.TileID {
-	idx := int(src)*s.Mesh.NumTiles() + int(dst)
-	if r := s.routes[idx]; r != nil {
-		return r
+// NewScratch allocates a fresh per-lane scratch sized for this simulator.
+// Panics on a zero-value Simulator; construct with NewSimulator.
+func (s *Simulator) NewScratch() *Scratch {
+	if !s.initOnce {
+		panic("wormhole: NewScratch on zero-value Simulator (use NewSimulator)")
 	}
-	r, err := s.Mesh.Route(s.Cfg.Routing, src, dst)
-	if err != nil {
-		// Unreachable: endpoints are validated tiles of the same mesh.
-		panic(err)
+	n := s.numTiles
+	np := s.G.NumPackets()
+	return &Scratch{
+		sim:         s,
+		ports:       make([]busyList, n*NumPorts),
+		links:       make([]busyList, s.Mesh.NumLinks()),
+		coreOut:     make([]busyList, n),
+		coreIn:      make([]busyList, n),
+		routerSpans: make([]busyList, n),
+		indeg:       make([]int, np),
+		ready:       make([]int64, np),
+		seen:        make([]model.CoreID, n),
+		packets:     make([]PacketSchedule, np),
+		routerBits:  make([]int64, n),
+		linkBits:    make([]int64, s.Mesh.NumLinks()),
 	}
-	s.routes[idx] = r.Tiles
-	return r.Tiles
 }
 
-// portIndex returns the dense output-port index for leaving tile `from`
-// towards adjacent tile `to`, or the local port when to == from.
-func (s *Simulator) portIndex(from, to topology.TileID) (int, error) {
-	if from == to {
-		return int(from)*NumPorts + LocalPort, nil
-	}
-	for d := topology.East; d <= topology.Up; d++ {
-		if nt, ok := s.Mesh.Neighbor(from, d); ok && nt == to {
-			return int(from)*NumPorts + int(d), nil
-		}
-	}
-	return 0, fmt.Errorf("wormhole: tiles %d and %d are not adjacent", from, to)
-}
-
-// Run simulates the CDCG under the given mapping and returns the schedule.
+// Run simulates the CDCG under the given mapping and returns the
+// schedule as an independent Result (safe to keep across runs). It uses
+// a lazily-created internal scratch, so Run is not safe for concurrent
+// use — parallel callers use NewScratch with RunScratch or RunFresh.
 func (s *Simulator) Run(mp mapping.Mapping) (*Result, error) {
 	if !s.initOnce {
 		return nil, errors.New("wormhole: use NewSimulator")
 	}
-	if len(mp) != s.G.NumCores() {
-		return nil, fmt.Errorf("wormhole: mapping covers %d cores, CDCG has %d", len(mp), s.G.NumCores())
+	if s.scratch == nil {
+		s.scratch = s.NewScratch()
 	}
-	if err := mp.Validate(s.Mesh.NumTiles()); err != nil {
+	return s.RunFresh(mp, s.scratch)
+}
+
+// RunFresh simulates with the caller's scratch like RunScratch but
+// returns an independent Result with fresh backing arrays, safe to keep
+// across later runs. It is the concurrency-safe form of Run: lanes that
+// occasionally need a durable Result (rendering snapshots, winner
+// reports) call it on their own scratch without touching the shared
+// internal one. Occupancies are recorded when either the scratch's or
+// the simulator's RecordOccupancy flag is set; flip those before
+// spinning up concurrent lanes.
+func (s *Simulator) RunFresh(mp mapping.Mapping, sc *Scratch) (*Result, error) {
+	if !s.initOnce {
+		return nil, errors.New("wormhole: use NewSimulator")
+	}
+	if sc == nil || sc.sim != s {
+		return nil, errors.New("wormhole: scratch is not from this simulator's NewScratch")
+	}
+	res := &Result{
+		Packets:    make([]PacketSchedule, s.G.NumPackets()),
+		RouterBits: make([]int64, s.numTiles),
+		LinkBits:   make([]int64, s.Mesh.NumLinks()),
+	}
+	if err := s.run(sc, res, mp, sc.RecordOccupancy || s.RecordOccupancy); err != nil {
 		return nil, err
+	}
+	return res, nil
+}
+
+// RunScratch simulates the CDCG under the given mapping using the
+// caller's scratch. It is the allocation-free hot path of the CDCM
+// objective: in steady state (after the scratch's first few runs have
+// grown its interval lists) a call performs no heap allocation. The
+// returned Result is backed by the scratch and is only valid until the
+// next RunScratch with the same scratch. Distinct scratches may run
+// concurrently against one shared Simulator.
+func (s *Simulator) RunScratch(mp mapping.Mapping, sc *Scratch) (*Result, error) {
+	if !s.initOnce {
+		return nil, errors.New("wormhole: use NewSimulator")
+	}
+	if sc == nil || sc.sim != s {
+		return nil, errors.New("wormhole: scratch is not from this simulator's NewScratch")
+	}
+	res := &sc.res
+	res.Packets = sc.packets
+	res.RouterBits = sc.routerBits
+	res.LinkBits = sc.linkBits
+	if err := s.run(sc, res, mp, sc.RecordOccupancy); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// run is the simulation core shared by Run and RunScratch: all mutable
+// state lives in sc, all shared state on s is read-only, and the
+// schedule is written into res (whose slices the caller sized).
+func (s *Simulator) run(sc *Scratch, res *Result, mp mapping.Mapping, record bool) error {
+	if len(mp) != s.G.NumCores() {
+		return fmt.Errorf("wormhole: mapping covers %d cores, CDCG has %d", len(mp), s.G.NumCores())
+	}
+	if err := mp.ValidateInto(s.numTiles, sc.seen); err != nil {
+		return err
 	}
 
 	np := s.G.NumPackets()
-	res := &Result{
-		Packets:    make([]PacketSchedule, np),
-		RouterBits: make([]int64, s.Mesh.NumTiles()),
-		LinkBits:   make([]int64, len(s.links)),
+	res.ExecCycles = 0
+	res.CoreBits = 0
+	res.TSVBits = 0
+	res.TotalContention = 0
+	res.occ = nil
+	clear(res.RouterBits)
+	clear(res.LinkBits)
+	for i := range sc.ports {
+		sc.ports[i].reset()
 	}
-	for i := range s.ports {
-		s.ports[i].reset()
+	for i := range sc.links {
+		sc.links[i].reset()
 	}
-	for i := range s.links {
-		s.links[i].reset()
+	for i := range sc.coreOut {
+		sc.coreOut[i].reset()
+		sc.coreIn[i].reset()
 	}
-	for i := range s.coreOut {
-		s.coreOut[i].reset()
-		s.coreIn[i].reset()
-		s.routerSpans[i].reset()
-	}
-	s.heap.reset()
-	for p := 0; p < np; p++ {
-		s.indeg[p] = s.dg.InDegree(p)
-		s.ready[p] = 0
-		if s.indeg[p] == 0 {
-			s.heap.push(pktKey{start: s.G.Packets[p].Compute, id: model.PacketID(p)})
+	if record {
+		for i := range sc.routerSpans {
+			sc.routerSpans[i].reset()
 		}
 	}
+	copy(sc.indeg, s.baseIndeg)
+	clear(sc.ready)
+	sc.heap.a = append(sc.heap.a[:0], s.initHeap...)
 
+	n := s.numTiles
 	tr, tl := s.Cfg.RoutingCycles, s.Cfg.LinkCycles
 	tlv := s.Cfg.TSVCycles() // per-flit vertical (TSV) hop time; unused on depth-1 grids
+	arbLocal := s.Cfg.ArbitrateLocal
 	scheduled := 0
-	for s.heap.len() > 0 {
-		k := s.heap.pop()
+	for sc.heap.len() > 0 {
+		k := sc.heap.pop()
 		p := int(k.id)
 		pkt := &s.G.Packets[p]
 		nFlits := s.flits[p]
 		srcTile, dstTile := mp[pkt.Src], mp[pkt.Dst]
-		tiles := s.route(srcTile, dstTile)
+		ri := int(srcTile)*n + int(dstTile)
+		tiles := s.routeData[s.routeOff[ri]:s.routeOff[ri+1]]
 
 		linkHold := nFlits * tl
 		portHold := tr + (nFlits-1)*tl
@@ -382,14 +561,14 @@ func (s *Simulator) Run(mp mapping.Mapping) (*Result, error) {
 		// Plan pass: walk the route head-first, computing acquisition
 		// times without booking anything (the hops of one packet touch
 		// distinct resources, so peek-then-book is exact).
-		s.hops = s.hops[:0]
+		sc.hops = sc.hops[:0]
 		var contention int64
 		h := k.start // header enters the source core's output link
 
 		// Source core -> local router link. Core links are timed but not
 		// arbitrated under the paper's CRG semantics (ArbitrateLocal
 		// false); see noc.Config.ArbitrateLocal.
-		t := s.plan(&s.coreOut[srcTile], h, linkHold, tl, s.Cfg.ArbitrateLocal, false, k.id)
+		t := s.plan(sc, &sc.coreOut[srcTile], h, linkHold, tl, arbLocal, false, k.id)
 		contention += t - h
 		h = t + tl
 
@@ -401,10 +580,9 @@ func (s *Simulator) Run(mp mapping.Mapping) (*Result, error) {
 			if i+1 < len(tiles) {
 				next = tiles[i+1]
 			}
-			pi, err := s.portIndex(tile, next)
-			if err != nil {
-				return nil, err
-			}
+			// Route steps are adjacent tiles of this mesh by
+			// construction, so the table entries are always valid.
+			pi := int(s.portOf[int(tile)*n+int(next)])
 			local := next == tile
 			// Resolve the outgoing link (and whether it is a TSV) before
 			// booking the port: a port feeding a vertical link streams its
@@ -412,11 +590,7 @@ func (s *Simulator) Run(mp mapping.Mapping) (*Result, error) {
 			li, vert := -1, false
 			pHold := portHold
 			if !local {
-				var ok bool
-				li, ok = s.Mesh.LinkIndex(tile, next)
-				if !ok {
-					return nil, fmt.Errorf("wormhole: route step %d->%d is not a link", tile, next)
-				}
+				li = int(s.linkOf[int(tile)*n+int(next)])
 				if s.vertLink != nil && s.vertLink[li] {
 					vert = true
 					pHold = vPortHold
@@ -428,15 +602,15 @@ func (s *Simulator) Run(mp mapping.Mapping) (*Result, error) {
 			if vert {
 				pRate = tlv
 			}
-			t = s.plan(&s.ports[pi], h, pHold, pRate, !local || s.Cfg.ArbitrateLocal, true, k.id)
+			t = s.plan(sc, &sc.ports[pi], h, pHold, pRate, !local || arbLocal, true, k.id)
 			contention += t - h
 			portEnd := t + pHold
 			h = t + tr
 			res.RouterBits[tile] += pkt.Bits
-			if s.RecordOccupancy {
+			if record {
 				// Display span: from arrival (incl. buffer wait) to the
 				// last flit leaving the router — the paper's annotation.
-				s.routerSpans[tile].iv = append(s.routerSpans[tile].iv,
+				sc.routerSpans[tile].iv = append(sc.routerSpans[tile].iv,
 					Occupancy{Packet: k.id, Start: arrival, End: portEnd})
 			}
 			if !local {
@@ -444,7 +618,7 @@ func (s *Simulator) Run(mp mapping.Mapping) (*Result, error) {
 				if vert {
 					lHold, adv = vLinkHold, tlv
 				}
-				t = s.plan(&s.links[li], h, lHold, adv, true, false, k.id)
+				t = s.plan(sc, &sc.links[li], h, lHold, adv, true, false, k.id)
 				contention += t - h
 				h = t + adv
 				res.LinkBits[li] += pkt.Bits
@@ -454,16 +628,16 @@ func (s *Simulator) Run(mp mapping.Mapping) (*Result, error) {
 			} else {
 				// Local router -> destination core link; delivery is when
 				// the last flit crosses it.
-				t = s.plan(&s.coreIn[dstTile], h, linkHold, tl, s.Cfg.ArbitrateLocal, false, k.id)
+				t = s.plan(sc, &sc.coreIn[dstTile], h, linkHold, tl, arbLocal, false, k.id)
 				contention += t - h
 				delivered = t + linkHold
 			}
 		}
-		s.applyBackpressure(tl)
+		s.applyBackpressure(sc, tl)
 		// Commit pass: book every hop (including any backpressure
 		// extensions) so later packets see the occupancy.
-		for i := range s.hops {
-			hp := &s.hops[i]
+		for i := range sc.hops {
+			hp := &sc.hops[i]
 			hp.list.record(hp.t, hp.hold, k.id)
 		}
 		res.CoreBits += 2 * pkt.Bits
@@ -484,35 +658,35 @@ func (s *Simulator) Run(mp mapping.Mapping) (*Result, error) {
 		scheduled++
 
 		for _, succ := range s.dg.Succ(p) {
-			if delivered > s.ready[succ] {
-				s.ready[succ] = delivered
+			if delivered > sc.ready[succ] {
+				sc.ready[succ] = delivered
 			}
-			s.indeg[succ]--
-			if s.indeg[succ] == 0 {
-				s.heap.push(pktKey{
-					start: s.ready[succ] + s.G.Packets[succ].Compute,
+			sc.indeg[succ]--
+			if sc.indeg[succ] == 0 {
+				sc.heap.push(pktKey{
+					start: sc.ready[succ] + s.G.Packets[succ].Compute,
 					id:    model.PacketID(succ),
 				})
 			}
 		}
 	}
 	if scheduled != np {
-		return nil, errors.New("wormhole: dependence deadlock (cyclic CDCG)")
+		return errors.New("wormhole: dependence deadlock (cyclic CDCG)")
 	}
 
-	if s.RecordOccupancy {
-		for i := range s.routerSpans {
-			sortOcc(s.routerSpans[i].iv)
+	if record {
+		for i := range sc.routerSpans {
+			sortOcc(sc.routerSpans[i].iv)
 		}
 		res.occ = &occStore{
-			routerSpans: snapshotAll(s.routerSpans),
-			ports:       snapshotAll(s.ports),
-			links:       snapshotAll(s.links),
-			coreOut:     snapshotAll(s.coreOut),
-			coreIn:      snapshotAll(s.coreIn),
+			routerSpans: snapshotAll(sc.routerSpans),
+			ports:       snapshotAll(sc.ports),
+			links:       snapshotAll(sc.links),
+			coreOut:     snapshotAll(sc.coreOut),
+			coreIn:      snapshotAll(sc.coreIn),
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // sortOcc sorts occupancies by (Start, Packet) via insertion sort; display
