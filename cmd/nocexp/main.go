@@ -20,9 +20,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 
 	"repro/internal/core"
@@ -46,13 +48,15 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*which, *seeds, *steps, *moves, *maxTiles, *depth, *topo, *esMax, *samples, *seed, *workers); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *which, *seeds, *steps, *moves, *maxTiles, *depth, *topo, *esMax, *samples, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "nocexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, seeds, steps, moves, maxTiles, depth int, topo string, esMax int64, samples int, seed int64, workers int) error {
+func run(ctx context.Context, which string, seeds, steps, moves, maxTiles, depth int, topo string, esMax int64, samples int, seed int64, workers int) error {
 	suite, err := exp.Table1Suite()
 	if err != nil {
 		return err
@@ -186,7 +190,7 @@ func run(which string, seeds, steps, moves, maxTiles, depth int, topo string, es
 				small = append(small, w)
 			}
 		}
-		outs, err := exp.RunSensitivity(small, noc.Config{}, samples, seed, workers)
+		outs, err := exp.RunSensitivity(ctx, small, noc.Config{}, samples, seed, workers)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func fixture(elem ...string) string {
+	return filepath.Join(append([]string{"..", "..", "internal", "analysis", "testdata", "src"}, elem...)...)
+}
+
+// TestSeededViolationFailsGate loads a fixture full of violations: the
+// gate must exit 1.
+func TestSeededViolationFailsGate(t *testing.T) {
+	if code := run([]string{"-run", "detmap", "-dir", fixture("detmap"), "-as", "repro/internal/fixture/detmap"}); code != 1 {
+		t.Fatalf("exit = %d, want 1 on seeded violations", code)
+	}
+}
+
+// TestEngineScopedFixtureFailsGate checks an impersonated engine path
+// triggers the path-scoped analyzers through the CLI too.
+func TestEngineScopedFixtureFailsGate(t *testing.T) {
+	if code := run([]string{"-run", "detsource", "-dir", fixture("detsource"), "-as", "repro/internal/search/fixture"}); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
+// TestRepoIsClean runs the full suite over the module: the shipped tree
+// must pass its own gate.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: loads and type-checks the whole module")
+	}
+	if code := run([]string{"repro/..."}); code != 0 {
+		t.Fatalf("exit = %d, want 0 — the tree no longer passes nocvet", code)
+	}
+}
+
+// TestUnknownAnalyzer exercises the usage error path.
+func TestUnknownAnalyzer(t *testing.T) {
+	if code := run([]string{"-run", "nosuch"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

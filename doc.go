@@ -84,11 +84,24 @@
 //	internal/apps       Romberg, FFT-8, object recognition, image encoder
 //	internal/trace      timing diagrams and annotated-CRG rendering
 //	internal/exp        regeneration of every table and figure
+//	internal/analysis   project-specific static analyzers (the nocvet suite)
 //	cmd/nocmap          map one application onto a NoC
 //	cmd/nocgen          generate benchmark CDCGs
 //	cmd/nocexp          reproduce the paper's tables and figures
 //	cmd/nocd            the mapping daemon (HTTP/JSON API over internal/service)
+//	cmd/nocvet          run the static-analysis suite (blocking in CI)
 //	examples/...        runnable walk-throughs
+//
+// The invariants above — bit-identical results for every worker count,
+// allocation-free steady-state hot paths, cancellation through every
+// engine, unlock-before-send in the service layer — are enforced
+// statically as well as by tests: the nocvet suite (internal/analysis,
+// run via `go run ./cmd/nocvet ./...` or `make lint`) rejects code that
+// leaks map iteration order into results, reads nondeterministic inputs
+// inside engine packages, allocates inside //nocvet:noalloc functions,
+// drops the context on a fan-out, or blocks while holding a service
+// mutex. See internal/analysis/doc.go for the contract and the
+// annotation grammar.
 //
 // See README.md for a tour. The benchmarks in bench_test.go regenerate
 // each table and figure under `go test -bench`, and the Workers1/WorkersN

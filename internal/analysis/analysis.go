@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named, self-contained check. The shape mirrors
+// golang.org/x/tools/go/analysis so the checks read like standard vet
+// passes, but the runner underneath is the stdlib-only loader in
+// load.go.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and -run filters.
+	Name string
+	// Doc is a one-paragraph description (first line = summary).
+	Doc string
+	// Run reports findings on one package via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding at a source position, before ignore
+// filtering.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's syntax, including in-package _test.go
+	// files when the loader was asked for them.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Noalloc is the repo-wide set of functions annotated
+	// //nocvet:noalloc, keyed by FuncKey. Populated by the runner from
+	// every loaded package, so cross-package callees resolve.
+	Noalloc map[string]bool
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// FuncKey names a function for the cross-package Noalloc set:
+// "pkgpath.Name" for package-level functions, "pkgpath.Recv.Name" for
+// methods (pointerness of the receiver is erased, so one annotation
+// covers both method sets).
+func FuncKey(fn *types.Func) string {
+	if fn.Pkg() == nil { // error.Error and other universe methods
+		return fn.Name()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// syntacticFuncKey is FuncKey computed from syntax alone, for
+// collecting annotations before (or without) type information.
+func syntacticFuncKey(pkgPath string, fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		for {
+			switch x := t.(type) {
+			case *ast.StarExpr:
+				t = x.X
+			case *ast.IndexExpr: // generic receiver
+				t = x.X
+			case *ast.ParenExpr:
+				t = x.X
+			default:
+				if id, ok := t.(*ast.Ident); ok {
+					return pkgPath + "." + id.Name + "." + fd.Name.Name
+				}
+				return pkgPath + "." + fd.Name.Name
+			}
+		}
+	}
+	return pkgPath + "." + fd.Name.Name
+}
+
+// Callee resolves a call expression to the *types.Func it statically
+// invokes — a package-level function or a concrete/interface method.
+// It returns nil for builtins, type conversions, and calls through
+// plain function values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// BuiltinName returns the name of the builtin a call invokes ("make",
+// "append", ...) or "".
+func BuiltinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// IsConversion reports whether the call is a type conversion, and if
+// so, to what type.
+func IsConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// RootObj unwraps selector/index/slice/paren/star chains to the root
+// identifier's object: for `sc.heap.a[:0]` it returns sc's object.
+func RootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// IsMap reports whether t's underlying type is a map.
+func IsMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// HasContextField reports whether t (struct, or pointer to one, after
+// unwrapping the named type) carries a context.Context field, directly
+// or through a nested struct field — MultiAnnealer reaches its context
+// as Base.Ctx, CompareOptions through an embedded Options, and both
+// count as a seam.
+func HasContextField(t types.Type) bool {
+	return hasContextField(t, 3)
+}
+
+func hasContextField(t types.Type, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if IsContext(ft) || hasContextField(ft, depth-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcFrom resolves pkgpath.name call targets: it reports whether fn is
+// the named package-level function.
+func isPkgFunc(fn *types.Func, pkgPath string, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// methodOn reports whether fn is a method named one of names on the
+// named type pkgPath.typeName (pointerness erased).
+func methodOn(fn *types.Func, pkgPath, typeName string, names ...string) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != pkgPath || obj.Name() != typeName {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}

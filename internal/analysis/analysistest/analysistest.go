@@ -1,0 +1,130 @@
+// Package analysistest runs an analyzer over a fixture directory and
+// checks its findings against // want "regexp" annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the repo's
+// stdlib-only loader.
+//
+// A fixture file marks each line expected to produce a finding with a
+// trailing comment:
+//
+//	for k := range m { // want `map iteration order escapes`
+//
+// The regexp must match the finding's message. Every want must be
+// matched by exactly one finding on its line and every finding must hit
+// a want; leftovers in either direction fail the test. Fixtures load
+// via LoadDir with an impersonated package path, so path-scoped
+// analyzers (detsource, ctxflow) fire on testdata the same way they do
+// on the enforced packages.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(`[^`]*`|\"[^\"]*\")")
+
+// Run loads dir as a single package named asPath, runs the analyzer
+// (with ignore filtering, so fixtures can exercise //nocvet:ignore),
+// and diffs findings against want comments.
+func Run(t *testing.T, dir, asPath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		// Fixtures must type-check: a silent type error makes analyzers
+		// skip the very code the test believes it is exercising.
+		t.Errorf("fixture type error: %v", terr)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := parseWants(t, pkg)
+	for _, f := range findings {
+		if !matchWant(wants, f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+func parseWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := m[1][1 : len(m[1])-1] // strip quotes/backticks
+				if strings.HasPrefix(m[1], `"`) {
+					if unq, err := unquote(pat); err == nil {
+						pat = unq
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// unquote handles the common escapes inside a double-quoted want
+// pattern without requiring the full strconv machinery on fragments.
+func unquote(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", fmt.Errorf("unsupported escape \\%c", s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detmap flags `range` over a map whose body lets the iteration order
+// escape: writes into slices that are not provably sorted afterwards,
+// sends, calls with side effects, float accumulation — anything that
+// could leak map order into a Result, hash input, serialized output or
+// comparison. The sanctioned patterns are:
+//
+//   - sorted-key extraction: `for k := range m { keys = append(keys, k) }`
+//     followed, later in the same function, by a sort of that slice;
+//   - writes into another map and delete() calls (order-insensitive
+//     targets);
+//   - exact integer accumulation (`n++`, `sum += w`, `b |= x`):
+//     commutative in integer arithmetic, so order-free. The same
+//     accumulation over floats is flagged — float addition does not
+//     commute bitwise, which is precisely how goldens drift.
+//
+// In _test.go files a single rule applies: a map range whose body
+// spawns t.Run subtests is flagged, because it scrambles -v output and
+// failure order between runs.
+var Detmap = &Analyzer{
+	Name: "detmap",
+	Doc:  "map iteration order must not escape into results, hashes, output or subtest order",
+	Run:  runDetmap,
+}
+
+func runDetmap(pass *Pass) error {
+	for _, f := range pass.Files {
+		testFile := pass.InTestFile(f.Pos())
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !IsMap(pass.Info.TypeOf(rng.X)) {
+				return true
+			}
+			if testFile {
+				if call := findSubtestSpawn(pass.Info, rng.Body); call != nil {
+					pass.Reportf(rng.For, "subtests spawned while ranging over a map run in nondeterministic order; iterate a sorted slice of cases instead")
+				}
+				return true
+			}
+			checkMapRangeBody(pass, rng, enclosingBlocks(stack))
+			return true
+		})
+	}
+	return nil
+}
+
+// findSubtestSpawn looks for a t.Run(...) call on a *testing.T (or
+// (*testing.B).Run) inside the body.
+func findSubtestSpawn(info *types.Info, body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found != nil {
+			return found == nil
+		}
+		fn := Callee(info, call)
+		if methodOn(fn, "testing", "T", "Run") || methodOn(fn, "testing", "B", "Run") {
+			found = call
+		}
+		return found == nil
+	})
+	return found
+}
+
+// enclosingBlocks returns the statement lists that lexically follow the
+// range statement — where a sanctioning sort call may appear.
+func enclosingBlocks(stack []ast.Node) []ast.Stmt {
+	var after []ast.Stmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		if blk, ok := stack[i].(*ast.BlockStmt); ok {
+			after = append(after, blk.List...)
+		}
+	}
+	return after
+}
+
+// checkMapRangeBody walks the loop body classifying every statement
+// with a side effect, reporting the first order-leaking one.
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, afterStmts []ast.Stmt) {
+	info := pass.Info
+	var report func(pos token.Pos, what string)
+	reported := false
+	report = func(pos token.Pos, what string) {
+		if reported {
+			return
+		}
+		reported = true
+		pass.Reportf(pos, "map iteration order escapes via %s; extract the keys into a slice, sort it, and iterate that (sorted-keys pattern)", what)
+	}
+
+	var checkStmt func(s ast.Stmt)
+	checkExprOrderFree := func(e ast.Expr, pos token.Pos) {
+		// Calls inside the body may observe iteration order through any
+		// side effect; only a known-pure subset is allowed.
+		ast.Inspect(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch BuiltinName(info, call) {
+			case "len", "cap", "min", "max", "delete", "append", "make", "new", "copy", "clear", "panic":
+				return true
+			}
+			if _, isConv := IsConversion(info, call); isConv {
+				return true
+			}
+			fn := Callee(info, call)
+			if fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "math", "strconv", "errors", "fmt":
+					// fmt.Errorf/Sprintf build values; leaking happens only
+					// if the result escapes, which the assignment rules catch.
+					return true
+				}
+			}
+			report(call.Pos(), "a call with possible side effects")
+			return false
+		})
+		_ = pos
+	}
+
+	checkAssign := func(as *ast.AssignStmt) {
+		for i, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			// Writes into a map are order-insensitive.
+			if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && IsMap(info.TypeOf(idx.X)) {
+				continue
+			}
+			// x = append(x, ...) is sanctioned iff x is sorted after the loop.
+			if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+				if i < len(as.Rhs) {
+					if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok && BuiltinName(info, call) == "append" {
+						if obj := RootObj(info, lhs); obj != nil && sortedAfter(info, afterStmts, rng, obj) {
+							continue
+						}
+						report(as.Pos(), "append to a slice that is not sorted after the loop")
+						return
+					}
+				}
+			}
+			// Integer accumulation commutes exactly.
+			if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+				if t, ok := info.TypeOf(lhs).Underlying().(*types.Basic); ok {
+					if t.Info()&types.IsInteger != 0 && commutativeOp(as.Tok) {
+						continue
+					}
+					if t.Info()&types.IsFloat != 0 {
+						report(as.Pos(), "floating-point accumulation (float addition is not bitwise commutative)")
+						return
+					}
+				}
+			}
+			// Everything else only stays order-free when the target is
+			// local to the loop body (recomputed each iteration).
+			if obj := RootObj(info, lhs); obj != nil && rng.Body.Pos() <= obj.Pos() && obj.Pos() < rng.Body.End() {
+				continue
+			}
+			if as.Tok == token.DEFINE {
+				continue // fresh variable per iteration
+			}
+			report(as.Pos(), "a write to state outside the loop")
+			return
+		}
+		for _, rhs := range as.Rhs {
+			checkExprOrderFree(rhs, as.Pos())
+		}
+	}
+
+	checkStmt = func(s ast.Stmt) {
+		if reported {
+			return
+		}
+		switch st := s.(type) {
+		case *ast.AssignStmt:
+			checkAssign(st)
+		case *ast.IncDecStmt:
+			if t, ok := info.TypeOf(st.X).Underlying().(*types.Basic); ok && t.Info()&types.IsInteger != 0 {
+				return
+			}
+			report(st.Pos(), "increment of non-integer state")
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && BuiltinName(info, call) == "delete" {
+				return
+			}
+			checkExprOrderFree(st.X, st.Pos())
+		case *ast.SendStmt:
+			report(st.Pos(), "a channel send (receiver observes iteration order)")
+		case *ast.ReturnStmt:
+			// Early return selects a map-order-dependent element.
+			for _, r := range st.Results {
+				if id, ok := r.(*ast.Ident); ok && (id.Name == "nil" || id.Name == "true" || id.Name == "false") {
+					continue
+				}
+				report(st.Pos(), "a return of an iteration-dependent value")
+				return
+			}
+		case *ast.IfStmt:
+			checkStmts(st.Body.List, checkStmt)
+			if st.Else != nil {
+				checkStmt(st.Else)
+			}
+		case *ast.BlockStmt:
+			checkStmts(st.List, checkStmt)
+		case *ast.ForStmt:
+			checkStmts(st.Body.List, checkStmt)
+		case *ast.RangeStmt:
+			checkStmts(st.Body.List, checkStmt)
+		case *ast.SwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkStmts(cc.Body, checkStmt)
+				}
+			}
+		case *ast.BranchStmt, *ast.DeclStmt, *ast.EmptyStmt, *ast.LabeledStmt:
+			// order-free
+		case *ast.GoStmt:
+			report(st.Pos(), "a goroutine spawned per iteration (scheduling observes order)")
+		case *ast.DeferStmt:
+			report(st.Pos(), "a defer registered per iteration (runs in order-dependent LIFO)")
+		default:
+			report(s.Pos(), "a statement the analyzer cannot prove order-free")
+		}
+	}
+	checkStmts(rng.Body.List, checkStmt)
+}
+
+func checkStmts(list []ast.Stmt, f func(ast.Stmt)) {
+	for _, s := range list {
+		f(s)
+	}
+}
+
+// commutativeOp reports whether the op-assign token commutes exactly in
+// integer arithmetic.
+func commutativeOp(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// sortedAfter reports whether a sort call over obj's slice appears in
+// statements after the range loop: sort.Ints/Strings/Float64s/Slice/
+// SliceStable/Sort or slices.Sort/SortFunc/SortStableFunc/Sorted.
+func sortedAfter(info *types.Info, stmts []ast.Stmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	for _, s := range stmts {
+		if s.Pos() <= rng.Pos() {
+			continue
+		}
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := Callee(info, call)
+			isSort := isPkgFunc(fn, "sort", "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Sort", "Stable") ||
+				isPkgFunc(fn, "slices", "Sort", "SortFunc", "SortStableFunc")
+			if !isSort || len(call.Args) == 0 {
+				return true
+			}
+			if root := RootObj(info, call.Args[0]); root == obj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

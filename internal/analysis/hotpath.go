@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath is the annotation-driven allocation checker: a function whose
+// doc comment carries //nocvet:noalloc must stay heap-silent in steady
+// state. Inside such a function the analyzer rejects
+//
+//   - make/new calls and map or slice composite literals;
+//   - composite literals whose address is taken (&T{...} escapes);
+//   - append whose destination is not rooted in a parameter or
+//     receiver (scratch-backed slices reach the function from outside;
+//     appending to a fresh local means a fresh backing array);
+//   - closures, go statements and defers;
+//   - fmt calls and allocating string operations (concatenation,
+//     string<->[]byte/[]rune conversions);
+//   - conversions of concrete values to interface types (boxing);
+//   - calls to functions not themselves marked //nocvet:noalloc —
+//     the property propagates down the call tree by annotation, not
+//     whole-program analysis. Pure math builtins and the math package
+//     are exempt.
+//
+// Branches that terminate in an error return or a panic are cold: they
+// end the run, so allocations there cannot perturb the steady state the
+// testing.AllocsPerRun pins measure. This is the same contract guarded
+// at runtime by the alloc-pin tests; hotpath guards it from the source
+// side so a violation is caught before any benchmark runs.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "functions marked //nocvet:noalloc must not allocate outside cold error/panic branches",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, noallocDirective) {
+				continue
+			}
+			checkNoalloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoalloc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+
+	// Parameter and receiver objects: the roots scratch-backed slices
+	// hang off.
+	paramObjs := make(map[types.Object]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					paramObjs[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	addFields(fd.Type.Results)
+
+	var walk func(n ast.Node) bool
+	report := func(pos token.Pos, format string, args ...any) {
+		pass.Reportf(pos, "//nocvet:noalloc function %s: "+format, append([]any{fd.Name.Name}, args...)...)
+	}
+
+	checkCall := func(call *ast.CallExpr) {
+		switch BuiltinName(info, call) {
+		case "make", "new":
+			report(call.Pos(), "%s allocates", BuiltinName(info, call))
+			return
+		case "append":
+			if len(call.Args) == 0 {
+				return
+			}
+			if obj := RootObj(info, call.Args[0]); obj != nil && paramObjs[obj] {
+				return // scratch-backed: growth amortizes to zero in steady state
+			}
+			report(call.Pos(), "append to a slice not rooted in a parameter or receiver allocates a fresh backing array")
+			return
+		case "":
+			// not a builtin; fall through
+		default:
+			return // len/cap/copy/clear/delete/min/max/panic/print...
+		}
+		if to, isConv := IsConversion(info, call); isConv {
+			if types.IsInterface(to) && len(call.Args) == 1 && !types.IsInterface(info.TypeOf(call.Args[0])) {
+				report(call.Pos(), "conversion to %s boxes its operand on the heap", to.String())
+			}
+			if isAllocatingConversion(to, info.TypeOf(call.Args[0])) {
+				report(call.Pos(), "string conversion allocates")
+			}
+			return
+		}
+		fn := Callee(info, call)
+		if fn == nil {
+			report(call.Pos(), "dynamic call through a function value cannot be proven allocation-free")
+			return
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			report(call.Pos(), "fmt.%s allocates (formatting boxes and buffers)", fn.Name())
+			return
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "math" {
+			return // pure arithmetic
+		}
+		if !pass.Noalloc[FuncKey(fn)] {
+			report(call.Pos(), "calls %s which is not marked //nocvet:noalloc", FuncKey(fn))
+		}
+	}
+
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			// Cold-branch exemption: a branch ending the run (error
+			// return / panic) may allocate. Walk Init/Cond, then skip
+			// any terminating block.
+			if x.Init != nil {
+				ast.Inspect(x.Init, walk)
+			}
+			ast.Inspect(x.Cond, walk)
+			if !terminates(x.Body) {
+				ast.Inspect(x.Body, walk)
+			}
+			if x.Else != nil {
+				if blk, ok := x.Else.(*ast.BlockStmt); ok && terminates(blk) {
+					return false
+				}
+				ast.Inspect(x.Else, walk)
+			}
+			return false
+		case *ast.FuncLit:
+			report(x.Pos(), "closure literal allocates (and may capture by reference)")
+			return false
+		case *ast.GoStmt:
+			report(x.Pos(), "go statement allocates a goroutine")
+			return false
+		case *ast.DeferStmt:
+			report(x.Pos(), "defer allocates a frame record")
+			return false
+		case *ast.CallExpr:
+			checkCall(x)
+		case *ast.CompositeLit:
+			t := info.TypeOf(x)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map, *types.Slice:
+					report(x.Pos(), "%s literal allocates", t.String())
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, isLit := ast.Unparen(x.X).(*ast.CompositeLit); isLit {
+					report(x.Pos(), "address-taken composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if t, ok := info.TypeOf(x).Underlying().(*types.Basic); ok && t.Info()&types.IsString != 0 {
+					report(x.Pos(), "string concatenation allocates")
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// terminates reports whether the block's last statement ends the
+// function (return) or the goroutine (panic) — the cold-branch test.
+func terminates(blk *ast.BlockStmt) bool {
+	if len(blk.List) == 0 {
+		return false
+	}
+	switch last := blk.List[len(blk.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(last.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isAllocatingConversion reports string<->[]byte/[]rune conversions.
+func isAllocatingConversion(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	toStr := isString(to)
+	fromStr := isString(from)
+	toSlice := isByteOrRuneSlice(to)
+	fromSlice := isByteOrRuneSlice(from)
+	return (toStr && fromSlice) || (toSlice && fromStr)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

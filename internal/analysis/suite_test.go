@@ -1,0 +1,111 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func fixture(t *testing.T, elem ...string) string {
+	t.Helper()
+	return filepath.Join(append([]string{"testdata", "src"}, elem...)...)
+}
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, fixture(t, "detmap"), "repro/internal/fixture/detmap", analysis.Detmap)
+}
+
+func TestDetmapSubtestOrder(t *testing.T) {
+	analysistest.Run(t, fixture(t, "detmap", "testorder"), "repro/internal/fixture/testorder", analysis.Detmap)
+}
+
+func TestDetsource(t *testing.T) {
+	// The fixture impersonates an engine package so the path scope applies.
+	analysistest.Run(t, fixture(t, "detsource"), "repro/internal/search/fixture", analysis.Detsource)
+}
+
+func TestDetsourceScopeExcludesServiceLayer(t *testing.T) {
+	// The same source under a non-engine path must produce no findings:
+	// the service layer legitimately reads clocks.
+	pkg, err := analysis.LoadDir(fixture(t, "detsource"), "repro/internal/service/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.Detsource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("detsource fired outside the engine scope: %v", findings)
+	}
+}
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, fixture(t, "hotpath"), "repro/internal/fixture/hotpath", analysis.Hotpath)
+}
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, fixture(t, "ctxflow"), "repro/internal/search/fixture", analysis.Ctxflow)
+}
+
+func TestMutexhold(t *testing.T) {
+	analysistest.Run(t, fixture(t, "mutexhold"), "repro/internal/fixture/mutexhold", analysis.Mutexhold)
+}
+
+// TestIgnoreDirectives pins the escape-hatch contract: a reasoned
+// directive suppresses its line's finding, a bare one suppresses
+// nothing and is itself reported.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg, err := analysis.LoadDir(fixture(t, "ignores"), "repro/internal/fixture/ignores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.Detmap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missingReason, send int
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "nocvet" && strings.Contains(f.Message, "requires a reason"):
+			missingReason++
+		case f.Analyzer == "detmap" && strings.Contains(f.Message, "channel send"):
+			send++
+		default:
+			t.Errorf("unexpected finding: %v", f)
+		}
+	}
+	if missingReason != 1 {
+		t.Errorf("reason-less directive findings = %d, want 1", missingReason)
+	}
+	if send != 1 {
+		t.Errorf("unsuppressed send findings = %d, want 1 (only the one under the bare directive)", send)
+	}
+}
+
+// TestSuiteCleanOnRepo is the self-gate: the shipped tree must pass its
+// own analyzers. This duplicates the CI nocvet step so a violation
+// fails `go test ./...` too, not just the lint job.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: loads and type-checks the whole module")
+	}
+	pkgs, err := analysis.Load("../..", false, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := []*analysis.Analyzer{
+		analysis.Detmap, analysis.Detsource, analysis.Hotpath,
+		analysis.Ctxflow, analysis.Mutexhold,
+	}
+	findings, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,85 @@
+// Package detmap is the analyzer fixture: each // want line must fire,
+// everything else must stay silent.
+package detmap
+
+import (
+	"sort"
+)
+
+// badAppend leaks map order into a result slice.
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to a slice that is not sorted after the loop`
+	}
+	return keys
+}
+
+// goodSortedKeys is the sanctioned extraction pattern.
+func goodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodIntAccumulation commutes exactly.
+func goodIntAccumulation(m map[string]int) (int, int) {
+	var sum, n int
+	for _, v := range m {
+		sum += v
+		n++
+	}
+	return sum, n
+}
+
+// badFloatAccumulation does not commute bitwise.
+func badFloatAccumulation(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation`
+	}
+	return sum
+}
+
+// goodMapToMap writes into an order-insensitive target.
+func goodMapToMap(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// goodDelete mutates the map itself.
+func goodDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// badSend lets a receiver observe iteration order.
+func badSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send`
+	}
+}
+
+// badCall hands each element to a function with side effects.
+func badCall(m map[string]int, f func(string)) {
+	for k := range m {
+		f(k) // want `call with possible side effects`
+	}
+}
+
+// goodIgnored shows the escape hatch: justified suppression.
+func goodIgnored(m map[string]int, f func(string)) {
+	for k := range m {
+		//nocvet:ignore f is a commutative accumulator in this fixture
+		f(k)
+	}
+}

@@ -1,0 +1,31 @@
+package testorder
+
+import "testing"
+
+// TestBadSubtests spawns subtests from a map range: -v output and
+// failure order scramble between runs.
+func TestBadSubtests(t *testing.T) {
+	cases := map[string]int{"a": 1, "b": 2}
+	for name, n := range cases { // want `subtests spawned while ranging over a map`
+		t.Run(name, func(t *testing.T) {
+			if n == 0 {
+				t.Fatal("zero")
+			}
+		})
+	}
+}
+
+// TestGoodSubtests iterates a slice: stable order.
+func TestGoodSubtests(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+	}{{"a", 1}, {"b", 2}}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.n == 0 {
+				t.Fatal("zero")
+			}
+		})
+	}
+}

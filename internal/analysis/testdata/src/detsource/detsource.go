@@ -1,0 +1,40 @@
+// Package detsource is loaded by the tests under the impersonated path
+// repro/internal/search/fixture, so the engine-package scope applies.
+package detsource
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// badClock reads the wall clock inside an engine.
+func badClock() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+// badElapsed measures wall time.
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+// badGlobalRand draws from the globally-seeded generator.
+func badGlobalRand() int {
+	return rand.Intn(10) // want `draws from the globally-seeded RNG`
+}
+
+// badEnv lets the environment steer an engine.
+func badEnv() string {
+	return os.Getenv("NOC_SEED") // want `reads the process environment`
+}
+
+// goodSeededRand is the sanctioned seam: explicit seed, local generator.
+func goodSeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// goodTimeArithmetic only manipulates values, never reads the clock.
+func goodTimeArithmetic(d time.Duration) time.Duration {
+	return d * 2
+}

@@ -1,0 +1,98 @@
+// Package hotpath is the //nocvet:noalloc fixture.
+package hotpath
+
+import "fmt"
+
+type scratch struct {
+	buf []int
+}
+
+// helper is annotated, so annotated callers may call it.
+//
+//nocvet:noalloc
+func helper(x int) int { return x * 2 }
+
+// plain is NOT annotated.
+func plain(x int) int { return x }
+
+// goodSteadyState reuses caller-owned memory and calls only annotated
+// or math-pure code; its error path allocates but terminates.
+//
+//nocvet:noalloc
+func goodSteadyState(sc *scratch, n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("hotpath: negative n %d", n) // cold branch: terminates
+	}
+	sc.buf = sc.buf[:0]
+	sum := 0
+	for i := 0; i < n; i++ {
+		sc.buf = append(sc.buf, helper(i))
+		sum += sc.buf[i]
+	}
+	return sum, nil
+}
+
+// badMake allocates on the steady-state path.
+//
+//nocvet:noalloc
+func badMake(n int) []int {
+	out := make([]int, n) // want `make allocates`
+	return out
+}
+
+// badLocalAppend grows a fresh backing array every call.
+//
+//nocvet:noalloc
+func badLocalAppend(n int) int {
+	var local []int
+	for i := 0; i < n; i++ {
+		local = append(local, i) // want `append to a slice not rooted in a parameter or receiver`
+	}
+	return len(local)
+}
+
+// badUnannotatedCallee calls into un-audited code.
+//
+//nocvet:noalloc
+func badUnannotatedCallee(x int) int {
+	return plain(x) // want `calls .*plain which is not marked`
+}
+
+// badClosure captures and allocates.
+//
+//nocvet:noalloc
+func badClosure(x int) func() int {
+	return func() int { return x } // want `closure literal allocates`
+}
+
+// badBoxing converts a concrete value to an interface.
+//
+//nocvet:noalloc
+func badBoxing(x int) any {
+	return any(x) // want `boxes its operand on the heap`
+}
+
+// badStringConcat builds a string on the steady path.
+//
+//nocvet:noalloc
+func badStringConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+// goodPanicBranch may allocate in a branch that panics.
+//
+//nocvet:noalloc
+func goodPanicBranch(sc *scratch, i int) int {
+	if i >= len(sc.buf) {
+		panic("hotpath: index " + itoa(i) + " out of range")
+	}
+	return sc.buf[i]
+}
+
+//nocvet:noalloc
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	return "n"
+}

@@ -1,0 +1,21 @@
+// Package ignores exercises the //nocvet:ignore escape hatch: a
+// directive with a reason suppresses the finding its line produces, a
+// directive without one is itself a finding and suppresses nothing.
+// Checked by a direct unit test (run_test.go), not want comments — the
+// reason grammar swallows any trailing text, so a want marker cannot
+// share the directive's line.
+package ignores
+
+func withReason(m map[string]int, ch chan string) {
+	for k := range m {
+		//nocvet:ignore fixture: the receiver drains into a set, so order is unobservable
+		ch <- k
+	}
+}
+
+func withoutReason(m map[string]int, ch chan string) {
+	for k := range m {
+		//nocvet:ignore
+		ch <- k
+	}
+}

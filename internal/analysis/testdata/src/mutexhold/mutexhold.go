@@ -1,0 +1,86 @@
+// Package mutexhold is the lock-discipline fixture.
+package mutexhold
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/par"
+)
+
+type server struct {
+	mu   sync.Mutex
+	subs []chan int
+	wg   sync.WaitGroup
+	pool *par.Pool
+}
+
+// badSendUnderLock delivers while holding the mutex.
+func (s *server) badSendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ch := range s.subs {
+		ch <- v // want `channel send while holding s.mu`
+	}
+}
+
+// goodSnapshotThenSend is the sanctioned shape: copy under the lock,
+// deliver outside it.
+func (s *server) goodSnapshotThenSend(v int) {
+	s.mu.Lock()
+	subs := make([]chan int, len(s.subs))
+	copy(subs, s.subs)
+	s.mu.Unlock()
+	for _, ch := range subs {
+		ch <- v
+	}
+}
+
+// goodNonBlockingSend may hold the lock: the default arm never blocks.
+func (s *server) goodNonBlockingSend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ch := range s.subs {
+		select {
+		case ch <- v:
+		default:
+		}
+	}
+}
+
+// badWaitUnderLock deadlocks when a waiter needs the lock.
+func (s *server) badWaitUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want `WaitGroup.Wait while holding s.mu`
+}
+
+// badPoolCloseUnderLock blocks on workers that may want the lock.
+func (s *server) badPoolCloseUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.Close() // want `par.Pool.Close blocks on worker goroutines while holding s.mu`
+}
+
+// goodTrySubmitUnderLock uses the non-blocking seam.
+func (s *server) goodTrySubmitUnderLock(task func()) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.TrySubmit(task)
+}
+
+// badHTTPWriteUnderLock lets a slow client pin the lock.
+func (s *server) badHTTPWriteUnderLock(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(w, "subs=%d\n", len(s.subs)) // want `fmt.Fprintf to an http.ResponseWriter while holding s.mu`
+}
+
+// goodHTTPWriteAfterUnlock snapshots, releases, then writes.
+func (s *server) goodHTTPWriteAfterUnlock(w http.ResponseWriter) {
+	s.mu.Lock()
+	n := len(s.subs)
+	s.mu.Unlock()
+	fmt.Fprintf(w, "subs=%d\n", n)
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/topology"
+)
+
+// TestCWMSwapDeltaCommitZeroAlloc pins the hot-path contract the
+// hotpath analyzer enforces statically: once the route cache is warm,
+// pricing and committing swaps allocates nothing. The warm-up sweep
+// touches every tile pair so the kCache misses (the one sanctioned
+// allocation-bearing fallback) are all behind us before measuring.
+func TestCWMSwapDeltaCommitZeroAlloc(t *testing.T) {
+	mesh, g := deltaInstance(t, 4, 4, 10)
+	cwm := newTestCWM(t, mesh, g)
+	mp := mapping.Identity(g.NumCores())
+	occ := mp.Occupants(mesh.NumTiles())
+	if _, err := cwm.Reset(mp); err != nil {
+		t.Fatal(err)
+	}
+	n := topology.TileID(mesh.NumTiles())
+	for src := topology.TileID(0); src < n; src++ {
+		for dst := topology.TileID(0); dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			if _, err := cwm.routers(src, dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var a, b topology.TileID = 0, 1
+	allocs := testing.AllocsPerRun(64, func() {
+		if _, err := cwm.SwapDelta(occ, a, b); err != nil {
+			t.Fatal(err)
+		}
+		cwm.Commit(a, b)
+		occ[a], occ[b] = occ[b], occ[a]
+		a = (a + 1) % n
+		b = (b + 3) % n
+		if a == b {
+			b = (b + 1) % n
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SwapDelta+Commit steady state allocates %.1f objects/run, want 0", allocs)
+	}
+}

@@ -123,10 +123,12 @@ func NewCWM(mesh *topology.Mesh, cfg noc.Config, tech energy.Tech, g *model.CWG)
 }
 
 // routers returns K for a tile pair, caching the route length.
+//nocvet:noalloc
 func (c *CWM) routers(src, dst topology.TileID) (int, error) {
 	if k := c.kCache[int(src)*c.numTiles+int(dst)]; k > 0 {
 		return int(k), nil
 	}
+	//nocvet:ignore cache-miss fallback: every pair is computed once, then served from kCache; amortized alloc-free
 	return c.routersSlow(src, dst)
 }
 
@@ -161,6 +163,7 @@ func (c *CWM) routersSlow(src, dst topology.TileID) (int, error) {
 // injectivity scan here would dominate the hot loop. Callers pricing an
 // externally supplied mapping must validate it first — Reset and Traffic
 // are the validating entry points.
+//nocvet:noalloc
 func (c *CWM) Cost(mp mapping.Mapping) (float64, error) {
 	if len(mp) != c.G.NumCores() {
 		return 0, fmt.Errorf("core: mapping covers %d cores, CWG has %d", len(mp), c.G.NumCores())

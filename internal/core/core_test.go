@@ -39,7 +39,11 @@ func TestCWMFigure2Energy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for name, mp := range map[string]mapping.Mapping{"a": mapA, "b": mapB} {
+	for _, tc := range []struct {
+		name string
+		mp   mapping.Mapping
+	}{{"a", mapA}, {"b", mapB}} {
+		name, mp := tc.name, tc.mp
 		got, err := cwm.Cost(mp)
 		if err != nil {
 			t.Fatal(err)
@@ -296,10 +300,14 @@ func TestNewCDCMValidation(t *testing.T) {
 }
 
 func TestParseMethodAndStrings(t *testing.T) {
-	for s, want := range map[string]Method{
-		"sa": MethodSA, "es": MethodES, "exhaustive": MethodES,
-		"random": MethodRandom, "hill": MethodHill, "tabu": MethodTabu,
+	for _, tc := range []struct {
+		s    string
+		want Method
+	}{
+		{"sa", MethodSA}, {"es", MethodES}, {"exhaustive", MethodES},
+		{"random", MethodRandom}, {"hill", MethodHill}, {"tabu", MethodTabu},
 	} {
+		s, want := tc.s, tc.want
 		got, err := ParseMethod(s)
 		if err != nil || got != want {
 			t.Errorf("ParseMethod(%q) = %v, %v", s, got, err)

@@ -116,6 +116,7 @@ func (c *CWM) Reset(mp mapping.Mapping) (float64, error) {
 // the swapped and baseline costs, each derived from the exact integer
 // aggregate exactly as Cost derives them — which is what keeps the
 // incremental path bit-identical to full recomputes.
+//nocvet:noalloc
 func (c *CWM) SwapDelta(occ []model.CoreID, ta, tb topology.TileID) (float64, error) {
 	if c.bound == nil {
 		return 0, errors.New("core: SwapDelta before Reset")
@@ -155,6 +156,7 @@ func (c *CWM) SwapDelta(occ []model.CoreID, ta, tb topology.TileID) (float64, er
 			}
 			k := row[ot]
 			if k == 0 {
+				//nocvet:ignore cache-miss fallback: every pair is computed once, then served from kCache; amortized alloc-free
 				kk, err := c.routersSlow(nt, ot)
 				if err != nil {
 					return 0, err
@@ -189,6 +191,7 @@ func (c *CWM) SwapDelta(occ []model.CoreID, ta, tb topology.TileID) (float64, er
 // Re-probing the warm route-cache rows here keeps SwapDelta free of
 // bookkeeping — pricing runs for every proposal, commits only for
 // accepted ones.
+//nocvet:noalloc
 func (c *CWM) Commit(ta, tb topology.TileID) float64 {
 	ca, cb := c.boundOcc[ta], c.boundOcc[tb]
 	mapping.SwapTiles(c.bound, c.boundOcc, ta, tb)
@@ -201,6 +204,7 @@ func (c *CWM) Commit(ta, tb topology.TileID) float64 {
 // baseline, skipping edges to skip (already refreshed by the partner's
 // pass). Route lookups cannot fail here: the baseline is a validated
 // mapping, so both endpoints are in-range tiles of a connected mesh.
+//nocvet:noalloc
 func (c *CWM) refreshEdges(x, skip model.CoreID) {
 	if x == mapping.Unassigned {
 		return
@@ -223,6 +227,7 @@ func (c *CWM) refreshEdges(x, skip model.CoreID) {
 		ot := bound[ae.nbr]
 		k := row[ot]
 		if k == 0 {
+			//nocvet:ignore cache-miss fallback: every pair is computed once, then served from kCache; amortized alloc-free
 			kk, err := c.routersSlow(nt, ot)
 			if err != nil {
 				panic("core: route failed for a validated bound mapping: " + err.Error())

@@ -174,17 +174,21 @@ func TestEnginesDeltaVsFullEquivalence(t *testing.T) {
 	for _, dims := range [][4]int{{4, 4, 1, 8}, {8, 8, 1, 16}, {2, 2, 2, 6}, {4, 4, 2, 16}} {
 		mesh, g := deltaInstance3D(t, dims[0], dims[1], dims[2], dims[3])
 		for _, seed := range []int64{1, 2, 3} {
-			for name, run := range map[string]func(p search.Problem) (*search.Result, error){
-				"sa": func(p search.Problem) (*search.Result, error) {
+			for _, tc := range []struct {
+				name string
+				run  func(p search.Problem) (*search.Result, error)
+			}{
+				{"sa", func(p search.Problem) (*search.Result, error) {
 					return (&search.Annealer{Problem: p, Seed: seed, TempSteps: 15, Reheats: 1}).Run()
-				},
-				"hill": func(p search.Problem) (*search.Result, error) {
+				}},
+				{"hill", func(p search.Problem) (*search.Result, error) {
 					return (&search.HillClimber{Problem: p, Seed: seed, Restarts: 1}).Run()
-				},
-				"tabu": func(p search.Problem) (*search.Result, error) {
+				}},
+				{"tabu", func(p search.Problem) (*search.Result, error) {
 					return (&search.Tabu{Problem: p, Seed: seed, Iterations: 10}).Run()
-				},
+				}},
 			} {
+				name, run := tc.name, tc.run
 				cwm := newTestCWM(t, mesh, g)
 				full, err := run(search.Problem{Mesh: mesh, NumCores: g.NumCores(),
 					Obj: search.ObjectiveFunc(cwm.Cost)})

@@ -95,7 +95,7 @@ func TestGoldenDim3(t *testing.T) {
 }
 
 func TestGoldenSensitivity(t *testing.T) {
-	outs, err := RunSensitivity(goldenSuite(t), noc.Config{}, 50, 7, 1)
+	outs, err := RunSensitivity(nil, goldenSuite(t), noc.Config{}, 50, 7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

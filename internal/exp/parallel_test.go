@@ -60,7 +60,7 @@ func TestRunSensitivityDeterministicAcrossWorkers(t *testing.T) {
 	suite := smallSuite(t, 6)[:2]
 	var ref []SensitivityOutcome
 	for _, workers := range []int{1, 2, 5} {
-		outs, err := RunSensitivity(suite, noc.Config{}, 15, 1, workers)
+		outs, err := RunSensitivity(nil, suite, noc.Config{}, 15, 1, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

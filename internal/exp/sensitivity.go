@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -43,8 +44,10 @@ type SensitivityOutcome struct {
 // bounds the achievable ETR. Workloads are analysed concurrently on a
 // pool of `workers` goroutines (0 or 1 = serial); each job owns its own
 // simulator and RNG, so the outcome slice is bit-identical for every
-// worker count.
-func RunSensitivity(suite []Workload, cfg noc.Config, samples int, seed int64, workers int) ([]SensitivityOutcome, error) {
+// worker count. A non-nil ctx cancels the run between workloads and is
+// threaded into every exploration; a nil ctx reproduces the exact
+// uncancellable behavior.
+func RunSensitivity(ctx context.Context, suite []Workload, cfg noc.Config, samples int, seed int64, workers int) ([]SensitivityOutcome, error) {
 	if cfg == (noc.Config{}) {
 		cfg = noc.Default()
 	}
@@ -52,7 +55,7 @@ func RunSensitivity(suite []Workload, cfg noc.Config, samples int, seed int64, w
 		samples = 200
 	}
 	outs := make([]SensitivityOutcome, len(suite))
-	err := par.ForEach(len(suite), workers, func(i int) error {
+	err := par.ForEachCtx(ctx, len(suite), workers, func(i int) error {
 		w := suite[i]
 		mesh, err := w.Mesh()
 		if err != nil {
@@ -96,6 +99,7 @@ func RunSensitivity(suite []Workload, cfg noc.Config, samples int, seed int64, w
 		tSA, err := (&search.Annealer{
 			Problem: search.Problem{Mesh: mesh, NumCores: w.G.NumCores(), Obj: timeObj},
 			Seed:    seed,
+			Ctx:     ctx,
 		}).Run()
 		if err != nil {
 			return err
@@ -103,7 +107,7 @@ func RunSensitivity(suite []Workload, cfg noc.Config, samples int, seed int64, w
 		o.BestTime = int64(tSA.BestCost)
 
 		cw, err := core.Explore(core.StrategyCWM, mesh, cfg, energy.Tech007, w.G,
-			core.Options{Method: core.MethodSA, Seed: seed})
+			core.Options{Method: core.MethodSA, Seed: seed, Ctx: ctx})
 		if err != nil {
 			return err
 		}

@@ -9,7 +9,7 @@ import (
 
 func TestRunSensitivity(t *testing.T) {
 	suite := smallSuite(t, 6)[:2]
-	outs, err := RunSensitivity(suite, noc.Config{}, 30, 1, 2)
+	outs, err := RunSensitivity(nil, suite, noc.Config{}, 30, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -133,6 +133,7 @@ func (c Config) Validate() error {
 
 // Flits returns the number of flits of a packet of the given bit volume:
 // n_abq = ceil(w_abq / FlitBits).
+//nocvet:noalloc
 func (c Config) Flits(bits int64) int64 {
 	if bits <= 0 {
 		return 0
@@ -145,6 +146,7 @@ func (c Config) Flits(bits int64) int64 {
 // TSVLinkCycles when set, LinkCycles otherwise. The wormhole simulator
 // applies it per vertical hop, so on depth-1 grids it never enters any
 // timing computation.
+//nocvet:noalloc
 func (c Config) TSVCycles() int64 {
 	if c.TSVLinkCycles > 0 {
 		return c.TSVLinkCycles

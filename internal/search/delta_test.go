@@ -155,7 +155,11 @@ func TestAnnealerSingleTileInitial(t *testing.T) {
 // delta path (the engine re-prices the winner before returning).
 func TestHillClimberBestCostMatchesFullRecompute(t *testing.T) {
 	full, delta, _ := deltaProblem(t, 3, 3, 6)
-	for name, p := range map[string]Problem{"full": full, "delta": delta} {
+	for _, tc := range []struct {
+		name string
+		p    Problem
+	}{{"full", full}, {"delta", delta}} {
+		name, p := tc.name, tc.p
 		res, err := (&HillClimber{Problem: p, Seed: 17, Restarts: 2}).Run()
 		if err != nil {
 			t.Fatal(err)
@@ -174,7 +178,11 @@ func TestHillClimberBestCostMatchesFullRecompute(t *testing.T) {
 // guarantee to tabu search.
 func TestTabuBestCostMatchesFullRecompute(t *testing.T) {
 	full, delta, _ := deltaProblem(t, 3, 3, 6)
-	for name, p := range map[string]Problem{"full": full, "delta": delta} {
+	for _, tc := range []struct {
+		name string
+		p    Problem
+	}{{"full", full}, {"delta", delta}} {
+		name, p := tc.name, tc.p
 		res, err := (&Tabu{Problem: p, Seed: 13, Iterations: 30}).Run()
 		if err != nil {
 			t.Fatal(err)
@@ -197,17 +205,21 @@ func TestTabuBestCostMatchesFullRecompute(t *testing.T) {
 func TestDeltaPathMatchesFullPath(t *testing.T) {
 	for _, dims := range [][4]int{{3, 3, 1, 6}, {4, 4, 1, 9}, {5, 4, 1, 11}, {2, 2, 2, 6}, {4, 4, 2, 14}} {
 		full, delta, dw := deltaProblem3D(t, dims[0], dims[1], dims[2], dims[3])
-		for name, run := range map[string]func(p Problem) (*Result, error){
-			"annealer": func(p Problem) (*Result, error) {
+		for _, tc := range []struct {
+			name string
+			run  func(p Problem) (*Result, error)
+		}{
+			{"annealer", func(p Problem) (*Result, error) {
 				return (&Annealer{Problem: p, Seed: 5, TempSteps: 12, Reheats: 1}).Run()
-			},
-			"hill": func(p Problem) (*Result, error) {
+			}},
+			{"hill", func(p Problem) (*Result, error) {
 				return (&HillClimber{Problem: p, Seed: 5, Restarts: 2}).Run()
-			},
-			"tabu": func(p Problem) (*Result, error) {
+			}},
+			{"tabu", func(p Problem) (*Result, error) {
 				return (&Tabu{Problem: p, Seed: 5, Iterations: 25}).Run()
-			},
+			}},
 		} {
+			name, run := tc.name, tc.run
 			ref, err := run(full)
 			if err != nil {
 				t.Fatalf("%s full: %v", name, err)

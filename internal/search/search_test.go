@@ -194,13 +194,17 @@ func TestObjectiveErrorPropagates(t *testing.T) {
 	p := Problem{Mesh: mesh, NumCores: 3, Obj: ObjectiveFunc(func(mapping.Mapping) (float64, error) {
 		return 0, boom
 	})}
-	for name, run := range map[string]func() (*Result, error){
-		"annealer":   func() (*Result, error) { return (&Annealer{Problem: p}).Run() },
-		"exhaustive": func() (*Result, error) { return (&Exhaustive{Problem: p}).Run() },
-		"random":     func() (*Result, error) { return (&RandomSearch{Problem: p, Samples: 5}).Run() },
-		"hill":       func() (*Result, error) { return (&HillClimber{Problem: p}).Run() },
-		"tabu":       func() (*Result, error) { return (&Tabu{Problem: p, Iterations: 3}).Run() },
+	for _, tc := range []struct {
+		name string
+		run  func() (*Result, error)
+	}{
+		{"annealer", func() (*Result, error) { return (&Annealer{Problem: p}).Run() }},
+		{"exhaustive", func() (*Result, error) { return (&Exhaustive{Problem: p}).Run() }},
+		{"random", func() (*Result, error) { return (&RandomSearch{Problem: p, Samples: 5}).Run() }},
+		{"hill", func() (*Result, error) { return (&HillClimber{Problem: p}).Run() }},
+		{"tabu", func() (*Result, error) { return (&Tabu{Problem: p, Iterations: 3}).Run() }},
 	} {
+		name, run := tc.name, tc.run
 		if _, err := run(); !errors.Is(err, boom) {
 			t.Errorf("%s: error not propagated: %v", name, err)
 		}
@@ -261,12 +265,16 @@ func TestTabuFindsOptimumOnSmallInstance(t *testing.T) {
 func TestEnginesOnPartialOccupancy(t *testing.T) {
 	// 5 cores on 9 tiles: moves must handle empty tiles.
 	p, _ := testProblem(t, 3, 3, 5)
-	for name, run := range map[string]func() (*Result, error){
-		"annealer": func() (*Result, error) { return (&Annealer{Problem: p, Seed: 2, TempSteps: 10}).Run() },
-		"random":   func() (*Result, error) { return (&RandomSearch{Problem: p, Seed: 2, Samples: 50}).Run() },
-		"hill":     func() (*Result, error) { return (&HillClimber{Problem: p, Seed: 2, Restarts: 1}).Run() },
-		"tabu":     func() (*Result, error) { return (&Tabu{Problem: p, Seed: 2, Iterations: 20}).Run() },
+	for _, tc := range []struct {
+		name string
+		run  func() (*Result, error)
+	}{
+		{"annealer", func() (*Result, error) { return (&Annealer{Problem: p, Seed: 2, TempSteps: 10}).Run() }},
+		{"random", func() (*Result, error) { return (&RandomSearch{Problem: p, Seed: 2, Samples: 50}).Run() }},
+		{"hill", func() (*Result, error) { return (&HillClimber{Problem: p, Seed: 2, Restarts: 1}).Run() }},
+		{"tabu", func() (*Result, error) { return (&Tabu{Problem: p, Seed: 2, Iterations: 20}).Run() }},
 	} {
+		name, run := tc.name, tc.run
 		res, err := run()
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

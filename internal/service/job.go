@@ -203,6 +203,7 @@ func (j *Job) finish(result json.RawMessage, err error, cacheHit bool, now time.
 	}
 	j.finished = now
 	subs := make([]chan Event, 0, len(j.subs))
+	//nocvet:ignore every subscriber gets the same event and delivery is non-blocking, so fan-out order is unobservable
 	for ch := range j.subs {
 		subs = append(subs, ch)
 	}
@@ -237,6 +238,7 @@ func (j *Job) publishProgress(p search.Progress) {
 	j.mu.Lock()
 	j.progress = pj
 	subs := make([]chan Event, 0, len(j.subs))
+	//nocvet:ignore every subscriber gets the same event and delivery is non-blocking, so fan-out order is unobservable
 	for ch := range j.subs {
 		subs = append(subs, ch)
 	}

@@ -273,7 +273,11 @@ func TestPaperFigure3bResourceIntervals(t *testing.T) {
 // (hence the identical 390 pJ dynamic energy of Figure 2).
 func TestPaperTrafficAggregates(t *testing.T) {
 	sim := newPaperSim(t, false)
-	for name, mp := range map[string]mapping.Mapping{"a": paperMappingA, "b": paperMappingB} {
+	for _, tc := range []struct {
+		name string
+		mp   mapping.Mapping
+	}{{"a", paperMappingA}, {"b", paperMappingB}} {
+		name, mp := tc.name, tc.mp
 		res, err := sim.Run(mp)
 		if err != nil {
 			t.Fatal(err)

@@ -263,6 +263,7 @@ type hopPlan struct {
 // the plan and booked by the commit pass after backpressure extensions.
 // Unarbitrated resources acquire at arrival regardless of existing
 // bookings.
+//nocvet:noalloc
 func (s *Simulator) plan(sc *Scratch, list *busyList, arrival, hold, rate int64, arbitrated, isPort bool, pkt model.PacketID) int64 {
 	if s.Cfg.Buffers != noc.BuffersBounded {
 		if arbitrated {
@@ -288,6 +289,7 @@ func (s *Simulator) plan(sc *Scratch, list *busyList, arrival, hold, rate int64,
 // later packets via earliest-fit, but intervals already booked by earlier
 // packets are not re-planned (an exact treatment needs flit-level
 // simulation; see DESIGN.md). With unbounded buffers it is a no-op.
+//nocvet:noalloc
 func (s *Simulator) applyBackpressure(sc *Scratch, tl int64) {
 	if s.Cfg.Buffers != noc.BuffersBounded {
 		return
@@ -482,6 +484,7 @@ func (s *Simulator) RunFresh(mp mapping.Mapping, sc *Scratch) (*Result, error) {
 // returned Result is backed by the scratch and is only valid until the
 // next RunScratch with the same scratch. Distinct scratches may run
 // concurrently against one shared Simulator.
+//nocvet:noalloc
 func (s *Simulator) RunScratch(mp mapping.Mapping, sc *Scratch) (*Result, error) {
 	if !s.initOnce {
 		return nil, errors.New("wormhole: use NewSimulator")
@@ -502,6 +505,7 @@ func (s *Simulator) RunScratch(mp mapping.Mapping, sc *Scratch) (*Result, error)
 // run is the simulation core shared by Run and RunScratch: all mutable
 // state lives in sc, all shared state on s is read-only, and the
 // schedule is written into res (whose slices the caller sized).
+//nocvet:noalloc
 func (s *Simulator) run(sc *Scratch, res *Result, mp mapping.Mapping, record bool) error {
 	if len(mp) != s.G.NumCores() {
 		return fmt.Errorf("wormhole: mapping covers %d cores, CDCG has %d", len(mp), s.G.NumCores())
@@ -678,6 +682,7 @@ func (s *Simulator) run(sc *Scratch, res *Result, mp mapping.Mapping, record boo
 		for i := range sc.routerSpans {
 			sortOcc(sc.routerSpans[i].iv)
 		}
+		//nocvet:ignore trace recording is the diagnostic path (Run with record), never the annealer steady state
 		res.occ = &occStore{
 			routerSpans: snapshotAll(sc.routerSpans),
 			ports:       snapshotAll(sc.ports),
@@ -691,6 +696,7 @@ func (s *Simulator) run(sc *Scratch, res *Result, mp mapping.Mapping, record boo
 
 // sortOcc sorts occupancies by (Start, Packet) via insertion sort; display
 // lists are short.
+//nocvet:noalloc
 func sortOcc(a []Occupancy) {
 	for i := 1; i < len(a); i++ {
 		for j := i; j > 0; j-- {
@@ -719,6 +725,7 @@ type pktKey struct {
 	id    model.PacketID
 }
 
+//nocvet:noalloc
 func (a pktKey) less(b pktKey) bool {
 	if a.start != b.start {
 		return a.start < b.start
@@ -729,9 +736,12 @@ func (a pktKey) less(b pktKey) bool {
 // pktHeap is a binary min-heap of pktKey.
 type pktHeap struct{ a []pktKey }
 
+//nocvet:noalloc
 func (h *pktHeap) reset()   { h.a = h.a[:0] }
+//nocvet:noalloc
 func (h *pktHeap) len() int { return len(h.a) }
 
+//nocvet:noalloc
 func (h *pktHeap) push(k pktKey) {
 	h.a = append(h.a, k)
 	i := len(h.a) - 1
@@ -745,6 +755,7 @@ func (h *pktHeap) push(k pktKey) {
 	}
 }
 
+//nocvet:noalloc
 func (h *pktHeap) pop() pktKey {
 	top := h.a[0]
 	last := len(h.a) - 1
