@@ -620,6 +620,48 @@ func benchHillCWM(b *testing.B, delta bool) {
 func BenchmarkHillCWMFull(b *testing.B)  { benchHillCWM(b, false) }
 func BenchmarkHillCWMDelta(b *testing.B) { benchHillCWM(b, true) }
 
+// BenchmarkParetoFrontCWM runs the Pareto front engine directly over the
+// CWM vector objective (dynamic energy × uncontended hop latency) on the
+// 8x8/16-core delta instance — the front engine's evaluation hot loop
+// over the cheap evaluator, so engine overhead (archive offers, weight
+// scalarisation) dominates the profile.
+func BenchmarkParetoFrontCWM(b *testing.B) {
+	mesh, cwm := deltaBenchInstance(b, 8, 8, 16, 768)
+	prob := search.Problem{Mesh: mesh, NumCores: cwm.G.NumCores(), Obj: cwm}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pts int
+	for i := 0; i < b.N; i++ {
+		front, err := (&search.ParetoSA{Problem: prob, Seed: 1, Walks: 4, TempSteps: 20}).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = len(front.Points)
+	}
+	b.ReportMetric(float64(pts), "front_points")
+}
+
+// BenchmarkParetoFrontCDCM is the production configuration: the archived
+// multi-walk exploration over CDCM's (dynamic, static, texec) components
+// on the 4x4/8-core instance, parallel walks on clone lanes — what
+// `nocmap -model pareto` runs.
+func BenchmarkParetoFrontCDCM(b *testing.B) {
+	mesh, cfg, g := parallelInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pts int
+	for i := 0; i < b.N; i++ {
+		res, err := core.Explore(core.StrategyPareto, mesh, cfg, energy.Tech007, g, core.Options{
+			Seed: 1, TempSteps: 20, Restarts: 6, Workers: runtime.NumCPU(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = len(res.Front.Points)
+	}
+	b.ReportMetric(float64(pts), "front_points")
+}
+
 // BenchmarkWormholeSimLarge measures one CDCM simulation of the largest
 // Table-1 instance (99 cores, 446 packets on 12x10).
 func BenchmarkWormholeSimLarge(b *testing.B) {

@@ -9,6 +9,7 @@
 //	nocexp -exp cputime                 # CWM vs CDCM evaluation cost
 //	nocexp -exp vsrandom                # guided mapping vs random ([4])
 //	nocexp -exp dim3 -depth 4           # 2D vs 3D: 4x4x1 vs 2x2x4, TSV-priced
+//	nocexp -exp pareto                  # energy x latency Pareto front (CDCM components)
 //	nocexp -exp all
 //
 // Every run is deterministic for a given -seed/-seeds: -workers only
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: table1, table2, fig1..fig5, esvssa, cputime, vsrandom, sensitivity, buffers, ablation, dim3, all")
+		which    = flag.String("exp", "all", "experiment: table1, table2, fig1..fig5, esvssa, cputime, vsrandom, sensitivity, buffers, ablation, dim3, pareto, all")
 		seeds    = flag.Int("seeds", 1, "number of search seeds to average over (table2)")
 		steps    = flag.Int("steps", 0, "SA temperature steps (0 = default)")
 		moves    = flag.Int("moves", 0, "SA moves per temperature (0 = default)")
@@ -182,6 +183,18 @@ func run(ctx context.Context, which string, seeds, steps, moves, maxTiles, depth
 			return err
 		}
 		fmt.Println(exp.RenderDim3(outs))
+	}
+	if which == "pareto" { // analysis extra: not part of "all"
+		g, err := exp.ParetoWorkload(0)
+		if err != nil {
+			return err
+		}
+		out, err := exp.RunPareto(g, 4, 4, noc.Config{},
+			core.Options{Seed: seed, TempSteps: steps, MovesPerTemp: moves, Workers: workers, Ctx: ctx})
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderPareto(out))
 	}
 	if which == "sensitivity" { // analysis extra: not part of "all"
 		var small []exp.Workload

@@ -68,6 +68,8 @@ type options struct {
 	format     string
 	flits      int
 	restarts   int
+	frontSize  int
+	greedySeed bool
 	workers    int
 	cpuProfile string
 	memProfile string
@@ -82,8 +84,8 @@ func main() {
 	flag.StringVar(&o.mesh, "mesh", "", "grid dimensions WxH or WxHxD (default: smallest square fitting the cores)")
 	flag.IntVar(&o.depth, "depth", 0, "stack a WxH -mesh into D layers (alternative to the WxHxD spec; 0 = 1 layer)")
 	flag.StringVar(&o.topo, "topology", "mesh", "grid family: mesh or torus")
-	flag.StringVar(&o.model, "model", "cdcm", "mapping model: cwm or cdcm")
-	flag.StringVar(&o.method, "method", "sa", "search method: sa, es, random, hill, tabu")
+	flag.StringVar(&o.model, "model", "cdcm", "mapping model: cwm, cdcm or pareto (multi-objective front)")
+	flag.StringVar(&o.method, "method", "sa", "search method: sa, es, random, hill, tabu (ignored by -model pareto)")
 	flag.Int64Var(&o.seed, "seed", 1, "search seed")
 	flag.StringVar(&o.tech, "tech", "0.07um", "technology profile: 0.35um, 0.07um or paper")
 	flag.StringVar(&o.routing, "routing", "xy", "routing algorithm: xy, yx, xyz or zyx")
@@ -92,7 +94,9 @@ func main() {
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the machine-readable result (same schema as the nocd daemon)")
 	flag.StringVar(&o.format, "format", "auto", "input format of -app: auto (content sniffing), json or text")
 	flag.IntVar(&o.flits, "flitbits", 1, "link width in bits per flit")
-	flag.IntVar(&o.restarts, "restarts", 1, "independent SA restarts (seeds seed..seed+n-1, best wins)")
+	flag.IntVar(&o.restarts, "restarts", 1, "independent SA restarts (seeds seed..seed+n-1, best wins); pareto walks when -model pareto")
+	flag.IntVar(&o.frontSize, "frontsize", 0, "bound on the Pareto front of -model pareto (0 = engine default)")
+	flag.BoolVar(&o.greedySeed, "greedy", false, "warm-start the search with the deterministic highest-traffic-first placement")
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "parallel worker goroutines (results are seed-deterministic for any value)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the exploration to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile (taken after the run) to this file")
@@ -135,18 +139,20 @@ func run(o options) error {
 	// Resolve flags exactly like a daemon request — one shared validation
 	// and defaulting path for CLI and service.
 	req := service.Request{
-		App:      g,
-		Mesh:     o.mesh,
-		Topology: o.topo,
-		Depth:    o.depth,
-		Routing:  o.routing,
-		FlitBits: o.flits,
-		Tech:     o.tech,
-		Model:    o.model,
-		Method:   o.method,
-		Seed:     o.seed,
-		Restarts: o.restarts,
-		Workers:  o.workers,
+		App:        g,
+		Mesh:       o.mesh,
+		Topology:   o.topo,
+		Depth:      o.depth,
+		Routing:    o.routing,
+		FlitBits:   o.flits,
+		Tech:       o.tech,
+		Model:      o.model,
+		Method:     o.method,
+		Seed:       o.seed,
+		Restarts:   o.restarts,
+		FrontSize:  o.frontSize,
+		GreedySeed: o.greedySeed,
+		Workers:    o.workers,
 	}
 	in, err := req.Resolve()
 	if err != nil {
@@ -210,6 +216,22 @@ func run(o options) error {
 	fmt.Fprintf(o.stdout, "energy (%s): dynamic %.6g pJ + static %.6g pJ = %.6g pJ (static share %.1f %%)\n",
 		in.Tech.Name, met.Energy.Dynamic*1e12, met.Energy.Static*1e12,
 		met.Total()*1e12, met.Energy.StaticShare()*100)
+
+	if res.Front != nil {
+		fmt.Fprintf(o.stdout, "\nPareto front (%d points, axes %s):\n",
+			len(res.Front.Points), strings.Join(res.Front.Axes, ", "))
+		headers := append(append([]string{"#"}, res.Front.Axes...), "ENoC (pJ)", "mapping")
+		rows := make([][]string, len(res.Front.Points))
+		for i, p := range res.Front.Points {
+			row := []string{fmt.Sprintf("%d", i+1)}
+			for _, c := range p.Components {
+				row = append(row, fmt.Sprintf("%.6g", c))
+			}
+			row = append(row, fmt.Sprintf("%.6g", p.Cost*1e12), p.Mapping.String())
+			rows[i] = row
+		}
+		fmt.Fprint(o.stdout, trace.Table(headers, rows))
+	}
 
 	if o.gantt || o.annotate {
 		cdcm, err := core.NewCDCM(mesh, in.Cfg, in.Tech, g)

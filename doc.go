@@ -40,6 +40,24 @@
 // opt-in (Simulator/Scratch RecordOccupancy) and only enabled by the
 // trace/Gantt renderers (see README "Allocation-free CDCM evaluation").
 //
+// The scalar cost the paper optimises is one point of a trade-off curve,
+// and the framework can report the whole curve: both evaluators implement
+// search.VectorObjective, exposing named component axes (CWM: dynamic
+// energy and an uncontended hop-latency aggregate; CDCM: dynamic energy,
+// static energy and simulated texec) whose weighted collapse equals the
+// scalar Cost bit for bit — so every scalar engine, golden and delta
+// path is untouched by the vector seam. search.ParetoSA approximates the
+// energy×latency Pareto front with archived weight-swept annealing walks
+// over a dominance archive with crowding-based pruning; fronts are
+// deterministic for a fixed seed whatever the worker count, every front
+// point exact-reprices on a fresh evaluator, and the front flows through
+// core.Explore (core.StrategyPareto), the service schema, `nocmap -model
+// pareto` and `nocexp -exp pareto`. mapping.SeedGreedy provides a
+// deterministic highest-traffic-first constructive placement that can
+// warm-start any seeded engine (core.Options.SeedGreedy); a seeded run
+// never finishes worse than its seed. See README "Multi-objective
+// search".
+//
 // The framework also runs as a long-lived service: internal/service plus
 // cmd/nocd expose submission, status, cancellation and progress streaming
 // over HTTP/JSON, with a bounded job queue on the internal/par pool and

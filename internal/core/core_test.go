@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/energy"
@@ -316,11 +317,45 @@ func TestParseMethodAndStrings(t *testing.T) {
 	if _, err := ParseMethod("genetic"); err == nil {
 		t.Error("unknown method accepted")
 	}
-	if StrategyCWM.String() != "CWM" || StrategyCDCM.String() != "CDCM" {
+	if StrategyCWM.String() != "CWM" || StrategyCDCM.String() != "CDCM" || StrategyPareto.String() != "pareto" {
 		t.Error("Strategy.String mismatch")
 	}
 	if MethodSA.String() != "SA" || Method(99).String() != "?" {
 		t.Error("Method.String mismatch")
+	}
+}
+
+// TestStrategyRoundTrip walks every defined Strategy value (stopping at
+// the "?" sentinel) and checks ParseStrategy inverts String exactly, so
+// a newly added strategy cannot ship without a CLI spelling.
+func TestStrategyRoundTrip(t *testing.T) {
+	n := 0
+	for s := Strategy(0); s.String() != "?"; s++ {
+		n++
+		name := s.String()
+		got, err := ParseStrategy(name)
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", name, got, err, s)
+		}
+		// Both case spellings parse.
+		if got, err := ParseStrategy(strings.ToLower(name)); err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", strings.ToLower(name), got, err, s)
+		}
+		if got, err := ParseStrategy(strings.ToUpper(name)); err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", strings.ToUpper(name), got, err, s)
+		}
+	}
+	if n != 3 {
+		t.Errorf("walked %d strategies before the ? sentinel, want 3 (CWM, CDCM, pareto)", n)
+	}
+	if Strategy(n).String() != "?" {
+		t.Errorf("Strategy(%d).String() = %q, want the ? sentinel", n, Strategy(n).String())
+	}
+	if _, err := ParseStrategy("?"); err == nil {
+		t.Error("ParseStrategy accepted the ? sentinel")
+	}
+	if _, err := ParseStrategy("ilp"); err == nil {
+		t.Error("ParseStrategy accepted an unknown strategy")
 	}
 }
 

@@ -16,10 +16,14 @@ import (
 // Strategy selects the application model driving the exploration.
 type Strategy int
 
-// Strategies.
+// Strategies. StrategyPareto is the multi-objective mode: it explores
+// under CDCM's vector components (dynamic energy, static energy,
+// execution time) with the archived weight-swept annealer and returns a
+// Pareto front alongside the scalar winner.
 const (
 	StrategyCWM Strategy = iota
 	StrategyCDCM
+	StrategyPareto
 )
 
 func (s Strategy) String() string {
@@ -28,6 +32,8 @@ func (s Strategy) String() string {
 		return "CWM"
 	case StrategyCDCM:
 		return "CDCM"
+	case StrategyPareto:
+		return "pareto"
 	}
 	return "?"
 }
@@ -39,6 +45,8 @@ func ParseStrategy(s string) (Strategy, error) {
 		return StrategyCWM, nil
 	case "cdcm", "CDCM":
 		return StrategyCDCM, nil
+	case "pareto", "PARETO":
+		return StrategyPareto, nil
 	}
 	return 0, fmt.Errorf("core: unknown mapping strategy %q", s)
 }
@@ -108,9 +116,19 @@ type Options struct {
 	ESAnchor bool
 	// Samples sets the random-search budget (0 = default).
 	Samples int
-	// Initial, when non-nil, seeds the annealer with this mapping
-	// instead of a random one (ignored by the other methods).
+	// Initial, when non-nil, seeds the annealer, the hill climber or the
+	// Pareto engine with this mapping instead of a random one (ignored by
+	// the other methods).
 	Initial mapping.Mapping
+	// SeedGreedy, when true and Initial is nil, warm-starts the engine
+	// with the deterministic highest-traffic-first constructive placement
+	// (mapping.SeedGreedy over the application's communication volumes).
+	// It only changes the starting point, never the engine's moves, and
+	// the greedy mapping is deterministic, so results stay reproducible.
+	SeedGreedy bool
+	// FrontSize bounds the Pareto front returned by StrategyPareto
+	// (0 = search.DefaultFrontSize); ignored by the scalar strategies.
+	FrontSize int
 	// Restarts runs MethodSA as a multi-restart: Restarts independent
 	// annealing runs with seeds Seed..Seed+Restarts-1, best-cost winner,
 	// lowest restart index breaking ties (0 or 1 = single run, the
@@ -145,6 +163,22 @@ type ExploreResult struct {
 	// tech — even for CWM-driven runs, because pricing time and static
 	// energy requires the dependence model (the paper's point).
 	Metrics Metrics
+	// Front is the Pareto front (StrategyPareto only, nil otherwise). Its
+	// lowest-collapse point is Best; the scalar Search fields summarise
+	// the same run (BestCost = that point's ENoC collapse).
+	Front *search.FrontResult
+}
+
+// GreedyInitial builds the constructive warm-start placement for an
+// application: mapping.SeedGreedy over the CWG communication volumes
+// (the deterministic highest-traffic-first heuristic).
+func GreedyInitial(mesh *topology.Mesh, g *model.CDCG) (mapping.Mapping, error) {
+	cwg := g.ToCWG()
+	edges := make([]mapping.TrafficEdge, len(cwg.Edges))
+	for i, e := range cwg.Edges {
+		edges[i] = mapping.TrafficEdge{A: e.Src, B: e.Dst, Bits: e.Bits}
+	}
+	return mapping.SeedGreedy(mesh, cwg.NumCores(), edges)
 }
 
 // Explore searches the mapping space of application g on the given NoC
@@ -164,7 +198,7 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 	switch strategy {
 	case StrategyCWM:
 		newObjective = func() (search.Objective, error) { return NewCWM(mesh, cfg, tech, g.ToCWG()) }
-	case StrategyCDCM:
+	case StrategyCDCM, StrategyPareto:
 		var err error
 		if cdcmBase, err = NewCDCM(mesh, cfg, tech, g); err != nil {
 			return nil, err
@@ -174,7 +208,68 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 		return nil, fmt.Errorf("core: unknown strategy %d", strategy)
 	}
 
+	if opts.SeedGreedy && opts.Initial == nil {
+		seed, err := GreedyInitial(mesh, g)
+		if err != nil {
+			return nil, err
+		}
+		opts.Initial = seed
+	}
+
 	prob := search.Problem{Mesh: mesh, NumCores: g.NumCores()}
+
+	// StrategyPareto is engine and strategy in one: the front engine over
+	// CDCM's vector components. Options.Method is ignored — the front has
+	// exactly one engine — and the scalar Search result summarises the
+	// front's lowest-ENoC point so every downstream consumer of
+	// ExploreResult keeps working unchanged.
+	if strategy == StrategyPareto {
+		base, err := newObjective()
+		if err != nil {
+			return nil, err
+		}
+		prob.Obj = base
+		front, err := (&search.ParetoSA{
+			Problem:      prob,
+			Seed:         opts.Seed,
+			Initial:      opts.Initial,
+			TempSteps:    opts.TempSteps,
+			MovesPerTemp: opts.MovesPerTemp,
+			Alpha:        opts.Alpha,
+			StallSteps:   opts.StallSteps,
+			Walks:        opts.Restarts,
+			FrontSize:    opts.FrontSize,
+			Workers:      opts.Workers,
+			NewObjective: newObjective,
+			Ctx:          opts.Ctx,
+			OnProgress:   opts.OnProgress,
+		}).Run()
+		if err != nil {
+			return nil, err
+		}
+		best, ok := front.Best()
+		if !ok {
+			return nil, fmt.Errorf("core: pareto exploration returned an empty front")
+		}
+		metrics, err := cdcmBase.Evaluate(best.Mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &ExploreResult{
+			Strategy: strategy,
+			Search: &search.Result{
+				Best:         best.Mapping,
+				BestCost:     best.Cost,
+				InitialCost:  front.InitialCost,
+				Evaluations:  front.Evaluations,
+				Improvements: front.Improvements,
+			},
+			Best:    best.Mapping,
+			Metrics: metrics,
+			Front:   front,
+		}, nil
+	}
+
 	var (
 		res *search.Result
 		err error
@@ -219,7 +314,7 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 			res, err = (&search.RandomSearch{Problem: prob, Seed: opts.Seed, Samples: opts.Samples,
 				Ctx: opts.Ctx, OnProgress: opts.OnProgress}).Run()
 		case MethodHill:
-			res, err = (&search.HillClimber{Problem: prob, Seed: opts.Seed,
+			res, err = (&search.HillClimber{Problem: prob, Seed: opts.Seed, Initial: opts.Initial,
 				Ctx: opts.Ctx, OnProgress: opts.OnProgress}).Run()
 		case MethodTabu:
 			res, err = (&search.Tabu{Problem: prob, Seed: opts.Seed,

@@ -94,6 +94,20 @@ func TestGoldenDim3(t *testing.T) {
 	checkGolden(t, "dim3.golden", RenderDim3(outs))
 }
 
+func TestGoldenPareto(t *testing.T) {
+	g, err := ParetoWorkload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := goldenOptions()
+	opts.Restarts = 7 // pareto walks: 3 pure-axis + 4 mixed weightings
+	out, err := RunPareto(g, 4, 4, noc.Config{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "pareto.golden", RenderPareto(out))
+}
+
 func TestGoldenSensitivity(t *testing.T) {
 	outs, err := RunSensitivity(nil, goldenSuite(t), noc.Config{}, 50, 7, 1)
 	if err != nil {

@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/appgen"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/model"
+	"repro/internal/noc"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// This file is the multi-objective experiment: instead of collapsing
+// energy and timing into one scalar (the paper's eq. 10), the Pareto
+// exploration (core.StrategyPareto) reports the whole trade-off curve —
+// the framing of the related 3-D mapping work (Jha et al.) where energy
+// and latency are competing objectives. On a contended instance the
+// front's extremes quantify how much execution time the energy-minimal
+// placement gives up, and vice versa — the scalar collapse picks exactly
+// one point of that curve.
+
+// ParetoWorkload builds the experiment's fixed-seed application: a
+// phase-synchronised 4x4 workload with enough traffic that contention
+// makes energy and execution time genuinely compete (0 cores defaults
+// to 12).
+func ParetoWorkload(cores int) (*model.CDCG, error) {
+	if cores <= 0 {
+		cores = 12
+	}
+	return appgen.Generate(appgen.Params{
+		Name:  fmt.Sprintf("pareto-%dc", cores),
+		Cores: cores, Packets: 5 * cores, TotalBits: int64(750 * cores),
+		Seed: 42, Mode: appgen.ModePhases, ComputeMin: 2, ComputeMax: 12,
+	})
+}
+
+// ParetoOutcome is one Pareto exploration, priced under Tech007.
+type ParetoOutcome struct {
+	App  string
+	Grid string
+	// Axes names the front's component axes.
+	Axes []string
+	// Points is the front in the engine's deterministic order; components
+	// are converted to the table's units (pJ, cycles).
+	Points []ParetoPoint
+	// Evaluations counts component evaluations across all walks.
+	Evaluations int64
+}
+
+// ParetoPoint is one front point in report units.
+type ParetoPoint struct {
+	DynamicPJ  float64
+	StaticPJ   float64
+	ExecCycles int64
+	TotalPJ    float64
+	Mapping    string
+}
+
+// RunPareto explores the application's energy×latency front on a WxH
+// mesh. The exploration is deterministic for a fixed opts.Seed whatever
+// opts.Workers is.
+func RunPareto(g *model.CDCG, w, h int, cfg noc.Config, opts core.Options) (*ParetoOutcome, error) {
+	if cfg == (noc.Config{}) {
+		cfg = noc.Default()
+	}
+	mesh, err := topology.NewMesh(w, h)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Explore(core.StrategyPareto, mesh, cfg, energy.Tech007, g, opts)
+	if err != nil {
+		return nil, fmt.Errorf("exp: pareto %dx%d: %w", w, h, err)
+	}
+	out := &ParetoOutcome{
+		App:         g.Name,
+		Grid:        fmt.Sprintf("%dx%d", w, h),
+		Axes:        res.Front.Axes,
+		Evaluations: res.Front.Evaluations,
+	}
+	for _, p := range res.Front.Points {
+		out.Points = append(out.Points, ParetoPoint{
+			DynamicPJ:  p.Components[0] * 1e12,
+			StaticPJ:   p.Components[1] * 1e12,
+			ExecCycles: int64(p.Components[2]),
+			TotalPJ:    p.Cost * 1e12,
+			Mapping:    p.Mapping.String(),
+		})
+	}
+	return out, nil
+}
+
+// RenderPareto formats the front table plus the extreme-point trade-off
+// summary.
+func RenderPareto(o *ParetoOutcome) string {
+	headers := []string{"#", "Edyn (pJ)", "Estat (pJ)", "texec (cy)", "ENoC (pJ)", "mapping"}
+	var rows [][]string
+	for i, p := range o.Points {
+		rows = append(rows, []string{
+			fmt.Sprint(i + 1),
+			fmt.Sprintf("%.5g", p.DynamicPJ),
+			fmt.Sprintf("%.5g", p.StaticPJ),
+			fmt.Sprint(p.ExecCycles),
+			fmt.Sprintf("%.5g", p.TotalPJ),
+			p.Mapping,
+		})
+	}
+	s := fmt.Sprintf("Pareto front — %s on %s, %d component evaluations (Tech 0.07um)\n",
+		o.App, o.Grid, o.Evaluations) + trace.Table(headers, rows)
+	if len(o.Points) > 1 {
+		// The front is sorted lexicographically by components, so the first
+		// point minimises dynamic energy and (on an energy×time front) the
+		// last minimises execution time.
+		eMin, tMin := o.Points[0], o.Points[len(o.Points)-1]
+		s += fmt.Sprintf("energy-min: %.5g pJ dynamic at %d cycles; latency-min: %d cycles at %.5g pJ dynamic\n",
+			eMin.DynamicPJ, eMin.ExecCycles, tMin.ExecCycles, tMin.DynamicPJ)
+		s += fmt.Sprintf("trade-off: %.1f%% texec reduction costs %.1f%% more dynamic energy\n",
+			100*float64(eMin.ExecCycles-tMin.ExecCycles)/float64(eMin.ExecCycles),
+			100*(tMin.DynamicPJ-eMin.DynamicPJ)/eMin.DynamicPJ)
+	} else {
+		s += "front collapsed to a single point: one mapping minimises every axis\n"
+	}
+	return s
+}

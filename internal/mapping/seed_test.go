@@ -1,0 +1,120 @@
+package mapping
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func seedMesh(t *testing.T, w, h int) *topology.Mesh {
+	t.Helper()
+	mesh, err := topology.NewMesh(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mesh
+}
+
+func TestSeedGreedyValidAndDeterministic(t *testing.T) {
+	mesh := seedMesh(t, 3, 3)
+	edges := []TrafficEdge{
+		{A: 0, B: 1, Bits: 1000},
+		{A: 1, B: 2, Bits: 600},
+		{A: 2, B: 3, Bits: 200},
+		{A: 0, B: 4, Bits: 50},
+		{A: 5, B: 5, Bits: 999}, // self-traffic: ignored
+	}
+	mp, err := SeedGreedy(mesh, 7, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Validate(mesh.NumTiles()); err != nil {
+		t.Fatal(err)
+	}
+	if len(mp) != 7 {
+		t.Fatalf("placed %d cores, want 7", len(mp))
+	}
+	again, err := SeedGreedy(mesh, 7, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mp, again) {
+		t.Fatalf("not deterministic: %v vs %v", mp, again)
+	}
+}
+
+func TestSeedGreedyPlacesHeaviestPairAdjacent(t *testing.T) {
+	mesh := seedMesh(t, 4, 4)
+	edges := []TrafficEdge{
+		{A: 2, B: 5, Bits: 10000}, // dominant flow
+		{A: 0, B: 1, Bits: 10},
+		{A: 3, B: 4, Bits: 10},
+	}
+	mp, err := SeedGreedy(mesh, 6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops := mesh.MinHops(mp[2], mp[5]); hops != 1 {
+		t.Fatalf("dominant pair placed %d hops apart: %v", hops, mp)
+	}
+}
+
+func TestSeedGreedyBeatsRandomOnWireLength(t *testing.T) {
+	// The heuristic's whole point: on a bit×hop objective the greedy seed
+	// should never lose to the identity placement for a clustered pattern.
+	mesh := seedMesh(t, 4, 4)
+	edges := []TrafficEdge{
+		{A: 0, B: 1, Bits: 5000}, {A: 0, B: 2, Bits: 4000},
+		{A: 1, B: 2, Bits: 3000}, {A: 3, B: 4, Bits: 2000},
+		{A: 4, B: 5, Bits: 1000}, {A: 6, B: 7, Bits: 500},
+		{A: 0, B: 7, Bits: 100},
+	}
+	cost := func(mp Mapping) (s int64) {
+		for _, e := range edges {
+			s += e.Bits * int64(mesh.MinHops(mp[e.A], mp[e.B]))
+		}
+		return s
+	}
+	mp, err := SeedGreedy(mesh, 8, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity := make(Mapping, 8)
+	for c := range identity {
+		identity[c] = topology.TileID(c)
+	}
+	if g, id := cost(mp), cost(identity); g > id {
+		t.Fatalf("greedy seed (%d) worse than identity placement (%d)", g, id)
+	}
+}
+
+func TestSeedGreedyNoTraffic(t *testing.T) {
+	mesh := seedMesh(t, 2, 2)
+	mp, err := SeedGreedy(mesh, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedGreedyErrors(t *testing.T) {
+	mesh := seedMesh(t, 2, 2)
+	if _, err := SeedGreedy(nil, 2, nil); err == nil {
+		t.Error("nil mesh accepted")
+	}
+	if _, err := SeedGreedy(mesh, 5, nil); err == nil {
+		t.Error("more cores than tiles accepted")
+	}
+	if _, err := SeedGreedy(mesh, 0, nil); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := SeedGreedy(mesh, 2, []TrafficEdge{{A: 0, B: 7, Bits: 1}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := SeedGreedy(mesh, 2, []TrafficEdge{{A: 0, B: 1, Bits: -1}}); err == nil {
+		t.Error("negative volume accepted")
+	}
+}

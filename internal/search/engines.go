@@ -2,6 +2,7 @@ package search
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -148,6 +149,13 @@ type HillClimber struct {
 	Problem  Problem
 	Seed     int64
 	Restarts int // 0 defaults to 3
+	// Initial, when non-nil, replaces the first restart's random starting
+	// mapping — the warm-start seam (mapping.SeedGreedy plugs in here).
+	// Later restarts keep random starts for diversity. Steepest descent
+	// never accepts a degrading move, so the first restart's local
+	// optimum — and therefore the returned Best — can never price worse
+	// than the supplied mapping.
+	Initial mapping.Mapping
 	// Ctx, when non-nil, cancels the climb; Run returns ctx.Err().
 	Ctx context.Context
 	// OnProgress, when non-nil, receives a snapshot after every accepted
@@ -169,9 +177,22 @@ func (h *HillClimber) Run() (*Result, error) {
 	res := &Result{BestCost: math.Inf(1)}
 	var useDeltaAny bool
 	for r := 0; r < restarts; r++ {
-		cur, err := mapping.Random(rng, h.Problem.NumCores, numTiles)
-		if err != nil {
-			return nil, err
+		var cur mapping.Mapping
+		if r == 0 && h.Initial != nil {
+			if len(h.Initial) != h.Problem.NumCores {
+				return nil, fmt.Errorf("search: initial mapping has %d cores, want %d",
+					len(h.Initial), h.Problem.NumCores)
+			}
+			if err := h.Initial.Validate(numTiles); err != nil {
+				return nil, err
+			}
+			cur = h.Initial.Clone()
+		} else {
+			var err error
+			cur, err = mapping.Random(rng, h.Problem.NumCores, numTiles)
+			if err != nil {
+				return nil, err
+			}
 		}
 		occ := cur.Occupants(numTiles)
 		cost, dobj, useDelta, err := bindObjective(h.Problem.Obj, cur)

@@ -1,0 +1,261 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/topology"
+)
+
+// vecWire is the test VectorObjective: two wireLength legs over disjoint
+// traffic patterns, so shortening one set of flows tends to stretch the
+// other and the axes genuinely compete. Cost is the fixed collapse
+// 1·a + 0.5·b, accumulated in ascending axis order like the core
+// evaluators.
+type vecWire struct {
+	a, b *wireLength
+}
+
+var vecWeights = []float64{1, 0.5}
+
+func (v *vecWire) Axes() []string             { return []string{"a", "b"} }
+func (v *vecWire) CollapseWeights() []float64 { return vecWeights }
+
+func (v *vecWire) ComponentsInto(mp mapping.Mapping, dst []float64) error {
+	ca, err := v.a.Cost(mp)
+	if err != nil {
+		return err
+	}
+	cb, err := v.b.Cost(mp)
+	if err != nil {
+		return err
+	}
+	dst[0], dst[1] = ca, cb
+	return nil
+}
+
+func (v *vecWire) Cost(mp mapping.Mapping) (float64, error) {
+	var c [2]float64
+	if err := v.ComponentsInto(mp, c[:]); err != nil {
+		return 0, err
+	}
+	return Collapse(v.CollapseWeights(), c[:]), nil
+}
+
+func testVecProblem(t *testing.T, w, h, cores int) (Problem, *vecWire) {
+	t.Helper()
+	mesh, err := topology.NewMesh(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := func(seed int64) *wireLength {
+		rng := rand.New(rand.NewSource(seed))
+		var fl [][3]int
+		for i := 0; i < cores; i++ {
+			for j := 0; j < cores; j++ {
+				if i != j && rng.Float64() < 0.3 {
+					fl = append(fl, [3]int{i, j, 1 + rng.Intn(100)})
+				}
+			}
+		}
+		return &wireLength{mesh: mesh, flows: fl}
+	}
+	obj := &vecWire{a: flows(11), b: flows(23)}
+	return Problem{Mesh: mesh, NumCores: cores, Obj: obj}, obj
+}
+
+func paretoEngine(p Problem) *ParetoSA {
+	return &ParetoSA{Problem: p, Seed: 3, Walks: 6, TempSteps: 25, MovesPerTemp: 15, FrontSize: 8}
+}
+
+func TestParetoSADeterministicAcrossWorkers(t *testing.T) {
+	p, obj := testVecProblem(t, 3, 3, 7)
+	var ref *FrontResult
+	for _, workers := range []int{1, 2, 4} {
+		e := paretoEngine(p)
+		e.Workers = workers
+		// Fresh per-lane objective instances, as the stateful core
+		// evaluators require.
+		e.NewObjective = func() (Objective, error) {
+			return &vecWire{a: obj.a, b: obj.b}, nil
+		}
+		got, err := e.Run()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = got
+			if len(ref.Points) < 2 {
+				t.Fatalf("front degenerate (%d points): test instance does not exercise the trade-off", len(ref.Points))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d changed the front:\n got %+v\nwant %+v", workers, got, ref)
+		}
+	}
+}
+
+func TestParetoSAFrontInvariants(t *testing.T) {
+	p, obj := testVecProblem(t, 3, 3, 7)
+	front, err := paretoEngine(p).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFront(t, front.Points)
+	if front.Evaluations <= 0 || front.Improvements <= 0 {
+		t.Fatalf("counters not threaded: eval=%d impr=%d", front.Evaluations, front.Improvements)
+	}
+	// Every front point must exact-reprice: a fresh evaluation of its
+	// mapping reproduces the stored components and scalar bit for bit.
+	dst := make([]float64, len(front.Axes))
+	for i, pt := range front.Points {
+		if err := pt.Mapping.Validate(p.Mesh.NumTiles()); err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+		if err := obj.ComponentsInto(pt.Mapping, dst); err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(dst, pt.Components) {
+			t.Fatalf("point %d does not reprice: stored %v, fresh %v", i, pt.Components, dst)
+		}
+		if got := Collapse(front.Weights, pt.Components); got != pt.Cost {
+			t.Fatalf("point %d: Cost %g != collapse %g", i, pt.Cost, got)
+		}
+	}
+	best, ok := front.Best()
+	if !ok {
+		t.Fatal("no best point")
+	}
+	if c, err := obj.Cost(best.Mapping); err != nil || c != best.Cost {
+		t.Fatalf("best point scalar mismatch: %g vs %g (%v)", c, best.Cost, err)
+	}
+}
+
+func TestParetoSAInitialWarmStart(t *testing.T) {
+	p, obj := testVecProblem(t, 3, 3, 7)
+	seed, err := mapping.Random(rand.New(rand.NewSource(77)), p.NumCores, p.Mesh.NumTiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCost, err := obj.Cost(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := paretoEngine(p)
+	e.Initial = seed
+	front, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if front.InitialCost != seedCost {
+		t.Fatalf("InitialCost %g, want the seed mapping's %g", front.InitialCost, seedCost)
+	}
+	if best, ok := front.Best(); !ok || best.Cost > seedCost {
+		t.Fatalf("seeded run finished at %g, worse than its seed %g", best.Cost, seedCost)
+	}
+
+	e = paretoEngine(p)
+	e.Initial = seed[:3] // wrong arity
+	if _, err := e.Run(); err == nil {
+		t.Fatal("short initial mapping accepted")
+	}
+}
+
+func TestParetoSARejectsScalarObjective(t *testing.T) {
+	p, _ := testProblem(t, 3, 3, 6) // plain wireLength: no vector view
+	if _, err := (&ParetoSA{Problem: p, Seed: 1}).Run(); err == nil {
+		t.Fatal("scalar-only objective accepted")
+	}
+	pv, _ := testVecProblem(t, 3, 3, 6)
+	e := paretoEngine(pv)
+	e.NewObjective = func() (Objective, error) {
+		return ObjectiveFunc(func(mp mapping.Mapping) (float64, error) { return 0, nil }), nil
+	}
+	e.Workers = 2
+	if _, err := e.Run(); err == nil {
+		t.Fatal("scalar-only factory objective accepted")
+	}
+}
+
+func TestParetoSAPreCanceledContext(t *testing.T) {
+	p, _ := testVecProblem(t, 3, 3, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := paretoEngine(p)
+	e.Ctx = ctx
+	if _, err := e.Run(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled ctx returned %v, want context.Canceled", err)
+	}
+}
+
+func TestParetoSABackgroundContextBitIdenticalToNil(t *testing.T) {
+	p, _ := testVecProblem(t, 3, 3, 6)
+	plain, err := paretoEngine(p).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := paretoEngine(p)
+	e.Ctx = context.Background()
+	ctxed, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, ctxed) {
+		t.Fatal("live context changed the front")
+	}
+}
+
+func TestParetoSAProgress(t *testing.T) {
+	p, _ := testVecProblem(t, 3, 3, 6)
+	e := paretoEngine(p)
+	walks := map[int]bool{}
+	e.OnProgress = func(pr Progress) {
+		if pr.Engine != "pareto" {
+			t.Errorf("progress engine %q", pr.Engine)
+		}
+		walks[pr.Restart] = true
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(walks) != e.Walks {
+		t.Fatalf("progress covered %d walks, want %d", len(walks), e.Walks)
+	}
+}
+
+func TestWalkWeights(t *testing.T) {
+	const k = 3
+	for i := 0; i < k; i++ {
+		w := walkWeights(rand.New(rand.NewSource(1)), i, k)
+		for ax, v := range w {
+			want := 0.0
+			if ax == i {
+				want = 1
+			}
+			if v != want {
+				t.Fatalf("walk %d weights %v, want pure axis %d", i, w, i)
+			}
+		}
+	}
+	w := walkWeights(rand.New(rand.NewSource(1)), k, k)
+	again := walkWeights(rand.New(rand.NewSource(1)), k, k)
+	if !reflect.DeepEqual(w, again) {
+		t.Fatal("interior weights not deterministic for a fixed seed")
+	}
+	var sum float64
+	for _, v := range w {
+		if v <= 0 {
+			t.Fatalf("interior weight %g not positive: %v", v, w)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("interior weights sum to %g, want 1", sum)
+	}
+}

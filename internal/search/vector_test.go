@@ -1,0 +1,178 @@
+package search
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/topology"
+)
+
+func TestDominates(t *testing.T) {
+	for _, tc := range []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{2, 2}, true},
+		{[]float64{2, 2}, []float64{1, 1}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: neither dominates
+		{[]float64{1, 3}, []float64{3, 1}, false}, // incomparable
+		{[]float64{3, 1}, []float64{1, 3}, false},
+		{[]float64{5}, []float64{6}, true},
+	} {
+		if got := Dominates(tc.a, tc.b); got != tc.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCollapse(t *testing.T) {
+	if got := Collapse([]float64{1, 0.5, 0}, []float64{10, 4, 1e18}); got != 12 {
+		t.Errorf("Collapse = %g, want 12", got)
+	}
+	if got := Collapse(nil, nil); got != 0 {
+		t.Errorf("empty Collapse = %g, want 0", got)
+	}
+}
+
+// offerAll feeds the points to a fresh archive in the given order.
+func offerAll(capacity int, pts []FrontPoint) *Archive {
+	a := NewArchive(capacity)
+	for _, p := range pts {
+		a.Offer(p.Mapping, p.Components, p.Cost)
+	}
+	return a
+}
+
+// assertFront checks the archive's core invariants: pairwise
+// non-domination and strict deterministic order.
+func assertFront(t *testing.T, pts []FrontPoint) {
+	t.Helper()
+	for i := range pts {
+		for j := range pts {
+			if i != j && Dominates(pts[i].Components, pts[j].Components) {
+				t.Fatalf("front point %d dominates point %d: %v vs %v",
+					i, j, pts[i].Components, pts[j].Components)
+			}
+		}
+		if i > 0 && !pts[i-1].less(&pts[i]) {
+			t.Fatalf("front not strictly ordered at %d: %v !< %v",
+				i, pts[i-1].Components, pts[i].Components)
+		}
+	}
+}
+
+func TestArchiveKeepsOnlyNonDominated(t *testing.T) {
+	mp := mapping.Mapping{0, 1}
+	a := NewArchive(0)
+	a.Offer(mp, []float64{5, 5}, 10)
+	a.Offer(mp, []float64{6, 6}, 12) // dominated: rejected
+	if a.Len() != 1 {
+		t.Fatalf("dominated offer admitted: len %d", a.Len())
+	}
+	a.Offer(mp, []float64{6, 4}, 10) // incomparable: admitted
+	a.Offer(mp, []float64{4, 6}, 10)
+	if a.Len() != 3 {
+		t.Fatalf("incomparable offers lost: len %d", a.Len())
+	}
+	a.Offer(mp, []float64{3, 3}, 6) // dominates all three: evicts them
+	if a.Len() != 1 || a.Points()[0].Components[0] != 3 {
+		t.Fatalf("dominating offer did not evict: %v", a.Points())
+	}
+	if a.Inserted() != 4 {
+		t.Fatalf("inserted = %d, want 4", a.Inserted())
+	}
+	assertFront(t, a.Points())
+}
+
+func TestArchiveOfferOrderIndependent(t *testing.T) {
+	// A fixed pool of candidates offered in many shuffled orders must
+	// always produce the identical archive — the property the walk-order
+	// merge (and hence workers-determinism) rests on.
+	rng := rand.New(rand.NewSource(9))
+	var pool []FrontPoint
+	for i := 0; i < 40; i++ {
+		mp := mapping.Mapping{topology.TileID(rng.Intn(4)), topology.TileID(4 + rng.Intn(4))}
+		c := []float64{float64(rng.Intn(6)), float64(rng.Intn(6))}
+		pool = append(pool, FrontPoint{Mapping: mp, Components: c, Cost: c[0] + c[1]})
+	}
+	ref := offerAll(4, pool).Points()
+	assertFront(t, ref)
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]FrontPoint(nil), pool...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := offerAll(4, shuffled).Points()
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("trial %d: archive depends on offer order:\n got %v\nwant %v", trial, got, ref)
+		}
+	}
+}
+
+func TestArchiveEqualComponentsKeepLexSmallerMapping(t *testing.T) {
+	small := mapping.Mapping{0, 1}
+	big := mapping.Mapping{1, 0}
+	c := []float64{2, 2}
+	for name, order := range map[string][2]mapping.Mapping{
+		"small-first": {small, big},
+		"big-first":   {big, small},
+	} {
+		a := NewArchive(0)
+		a.Offer(order[0], c, 4)
+		a.Offer(order[1], c, 4)
+		if a.Len() != 1 {
+			t.Fatalf("%s: equal components duplicated: len %d", name, a.Len())
+		}
+		if got := a.Points()[0].Mapping; !reflect.DeepEqual(got, small) {
+			t.Errorf("%s: kept mapping %v, want lexicographically smaller %v", name, got, small)
+		}
+	}
+}
+
+func TestArchiveCrowdingNeverEvictsExtremes(t *testing.T) {
+	mp := mapping.Mapping{0, 1}
+	a := NewArchive(3)
+	// A dense trade-off line: capacity pruning must keep both axis
+	// extremes and thin the middle.
+	for i := 0; i <= 10; i++ {
+		c := []float64{float64(i), float64(10 - i)}
+		a.Offer(mp, c, c[0]+c[1])
+	}
+	pts := a.Points()
+	if len(pts) != 3 {
+		t.Fatalf("capacity not enforced: len %d", len(pts))
+	}
+	if pts[0].Components[0] != 0 || pts[len(pts)-1].Components[0] != 10 {
+		t.Fatalf("crowding evicted an axis extreme: %v", pts)
+	}
+	assertFront(t, pts)
+}
+
+func TestArchiveOfferCopiesBuffers(t *testing.T) {
+	mp := mapping.Mapping{0, 1}
+	c := []float64{1, 2}
+	a := NewArchive(0)
+	a.Offer(mp, c, 3)
+	mp[0], c[0] = 9, 9 // caller reuses its buffers, as the hot loop does
+	got := a.Points()[0]
+	if got.Mapping[0] != 0 || got.Components[0] != 1 {
+		t.Fatalf("archive aliases caller buffers: %v %v", got.Mapping, got.Components)
+	}
+}
+
+func TestFrontResultBest(t *testing.T) {
+	f := &FrontResult{}
+	if _, ok := f.Best(); ok {
+		t.Fatal("empty front reported a best point")
+	}
+	f.Points = []FrontPoint{
+		{Mapping: mapping.Mapping{0, 1}, Components: []float64{1, 9}, Cost: 5},
+		{Mapping: mapping.Mapping{1, 0}, Components: []float64{2, 8}, Cost: 3},
+		{Mapping: mapping.Mapping{2, 0}, Components: []float64{3, 7}, Cost: 3}, // exact tie: first wins
+	}
+	best, ok := f.Best()
+	if !ok || best.Cost != 3 || best.Components[0] != 2 {
+		t.Fatalf("Best = %v, %v; want the first cost-3 point", best, ok)
+	}
+}

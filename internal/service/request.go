@@ -52,10 +52,12 @@ type Request struct {
 	// Tech is "0.35um", "0.07um" (default) or "paper".
 	Tech string `json:"tech,omitempty"`
 
-	// Model is the mapping strategy, "cwm" or "cdcm" (default).
+	// Model is the mapping strategy: "cwm", "cdcm" (default) or
+	// "pareto" (multi-objective exploration over the CDCM components).
 	Model string `json:"model,omitempty"`
 	// Method is the search engine: "sa" (default), "es", "random",
-	// "hill" or "tabu".
+	// "hill" or "tabu". The pareto model has exactly one engine (the
+	// archived weight-swept annealer) and ignores Method.
 	Method string `json:"method,omitempty"`
 	// Seed drives every stochastic engine deterministically.
 	Seed int64 `json:"seed,omitempty"`
@@ -77,6 +79,13 @@ type Request struct {
 	Samples      int     `json:"samples,omitempty"`
 	ESLimit      int64   `json:"es_limit,omitempty"`
 	ESAnchor     bool    `json:"es_anchor,omitempty"`
+	// FrontSize bounds the Pareto front of model "pareto" (0 = engine
+	// default); ignored by the scalar models.
+	FrontSize int `json:"front_size,omitempty"`
+	// GreedySeed warm-starts the engine with the deterministic
+	// highest-traffic-first constructive placement instead of a random
+	// mapping (mapping.SeedGreedy).
+	GreedySeed bool `json:"greedy_seed,omitempty"`
 }
 
 // Instance is a fully resolved, validated Request: the form the daemon
@@ -173,7 +182,7 @@ func (r *Request) Resolve() (*Instance, error) {
 		}
 	}
 	if r.TempSteps < 0 || r.MovesPerTemp < 0 || r.StallSteps < 0 || r.Reheats < 0 ||
-		r.Samples < 0 || r.ESLimit < 0 {
+		r.Samples < 0 || r.ESLimit < 0 || r.FrontSize < 0 {
 		return nil, badRequest("negative engine tuning value")
 	}
 
@@ -195,6 +204,8 @@ func (r *Request) Resolve() (*Instance, error) {
 			Samples:      r.Samples,
 			ESLimit:      r.ESLimit,
 			ESAnchor:     r.ESAnchor,
+			FrontSize:    r.FrontSize,
+			SeedGreedy:   r.GreedySeed,
 			Restarts:     restarts,
 			Workers:      r.Workers,
 		},
@@ -224,9 +235,10 @@ func (in *Instance) Key() string {
 	fmt.Fprintf(h, "tech:%s er=%g el=%g ec=%g etsv=%g ps=%g\n",
 		in.Tech.Name, in.Tech.ERbit, in.Tech.ELbit, in.Tech.ECbit, in.Tech.ETSVbit, in.Tech.PSRouter)
 	o := in.Opts
-	fmt.Fprintf(h, "search:model=%s method=%s seed=%d restarts=%d temps=%d moves=%d alpha=%g stall=%d reheats=%d samples=%d eslimit=%d esanchor=%t\n",
+	fmt.Fprintf(h, "search:model=%s method=%s seed=%d restarts=%d temps=%d moves=%d alpha=%g stall=%d reheats=%d samples=%d eslimit=%d esanchor=%t front=%d greedy=%t\n",
 		in.Strategy, in.Method, o.Seed, o.Restarts, o.TempSteps, o.MovesPerTemp,
-		o.Alpha, o.StallSteps, o.Reheats, o.Samples, o.ESLimit, o.ESAnchor)
+		o.Alpha, o.StallSteps, o.Reheats, o.Samples, o.ESLimit, o.ESAnchor,
+		o.FrontSize, o.SeedGreedy)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

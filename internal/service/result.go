@@ -53,6 +53,24 @@ type Result struct {
 	DynamicJ         float64 `json:"dynamic_j"`
 	StaticJ          float64 `json:"static_j"`
 	TotalJ           float64 `json:"total_j"`
+
+	// Pareto front (model "pareto" only, omitted otherwise). FrontAxes
+	// names the component axes; Front lists the mutually non-dominated
+	// points in the engine's deterministic order. Like everything else in
+	// Result the front is a pure function of the instance, so cached and
+	// fresh responses stay byte-identical.
+	FrontAxes []string         `json:"front_axes,omitempty"`
+	Front     []FrontPointJSON `json:"front,omitempty"`
+}
+
+// FrontPointJSON is one Pareto-front point in the result schema.
+type FrontPointJSON struct {
+	// Mapping is core index -> tile index.
+	Mapping []int `json:"mapping"`
+	// Components prices the mapping per axis, in FrontAxes order.
+	Components []float64 `json:"components"`
+	// CostJ is the scalar ENoC collapse of the components.
+	CostJ float64 `json:"cost_j"`
 }
 
 // NewResult builds the shared result record from one exploration.
@@ -66,6 +84,23 @@ func NewResult(in *Instance, res *core.ExploreResult) *Result {
 		name = "(unnamed)"
 	}
 	met := res.Metrics
+	var frontAxes []string
+	var front []FrontPointJSON
+	if res.Front != nil {
+		frontAxes = res.Front.Axes
+		front = make([]FrontPointJSON, len(res.Front.Points))
+		for i, p := range res.Front.Points {
+			pm := make([]int, len(p.Mapping))
+			for c, t := range p.Mapping {
+				pm[c] = int(t)
+			}
+			front[i] = FrontPointJSON{
+				Mapping:    pm,
+				Components: append([]float64(nil), p.Components...),
+				CostJ:      p.Cost,
+			}
+		}
+	}
 	return &Result{
 		App:       name,
 		AppHash:   in.G.Hash(),
@@ -97,6 +132,9 @@ func NewResult(in *Instance, res *core.ExploreResult) *Result {
 		DynamicJ:         met.Energy.Dynamic,
 		StaticJ:          met.Energy.Static,
 		TotalJ:           met.Total(),
+
+		FrontAxes: frontAxes,
+		Front:     front,
 	}
 }
 

@@ -426,3 +426,88 @@ func TestShutdownTimeoutCancelsStragglers(t *testing.T) {
 		t.Fatalf("straggler state = %s, want canceled", st.State)
 	}
 }
+
+// paretoRequest is a small deterministic pareto-front job.
+func paretoRequest(seed int64) *Request {
+	return &Request{Demo: true, Mesh: "3x3", Model: "pareto", Seed: seed,
+		TempSteps: 8, MovesPerTemp: 10, Restarts: 4, FrontSize: 8}
+}
+
+func TestParetoJobFrontSchemaAndCache(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+
+	j1, err := s.Submit(paretoRequest(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := waitTerminal(t, j1)
+	if st1.State != StateSucceeded || st1.CacheHit {
+		t.Fatalf("pareto job: %+v", st1)
+	}
+	var res Result
+	if err := json.Unmarshal(st1.Result, &res); err != nil {
+		t.Fatalf("result does not decode: %v", err)
+	}
+	if res.Model != "pareto" {
+		t.Fatalf("model = %q", res.Model)
+	}
+	if len(res.FrontAxes) != 3 || res.FrontAxes[0] != "dynamic_j" {
+		t.Fatalf("front axes %v", res.FrontAxes)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front in result")
+	}
+	bestCost := res.Front[0].CostJ
+	for i, p := range res.Front {
+		if len(p.Mapping) != res.Cores || len(p.Components) != len(res.FrontAxes) {
+			t.Fatalf("front point %d malformed: %+v", i, p)
+		}
+		if p.CostJ < bestCost {
+			bestCost = p.CostJ
+		}
+	}
+	// The scalar summary is the front's cheapest point.
+	if res.BestCost != bestCost {
+		t.Fatalf("best_cost_j %g != front minimum %g", res.BestCost, bestCost)
+	}
+
+	// Identical resubmission: served from cache, byte-identical front.
+	j2, err := s.Submit(paretoRequest(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := waitTerminal(t, j2)
+	if st2.State != StateSucceeded || !st2.CacheHit {
+		t.Fatalf("pareto resubmission not cached: %+v", st2)
+	}
+	if !bytes.Equal(st1.Result, st2.Result) {
+		t.Error("cached pareto result not byte-identical")
+	}
+
+	// The front knobs are part of the instance key: changing either is a
+	// different job, not a cache hit.
+	bigger := paretoRequest(7)
+	bigger.FrontSize = 16
+	seeded := paretoRequest(7)
+	seeded.GreedySeed = true
+	for name, r := range map[string]*Request{"front_size": bigger, "greedy_seed": seeded} {
+		j, err := s.Submit(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := waitTerminal(t, j); st.CacheHit || st.Key == st1.Key {
+			t.Errorf("%s change still hit the cache: %+v", name, st)
+		}
+	}
+
+	// Scalar jobs must not grow front fields (omitempty keeps the schema
+	// byte-stable for every existing consumer).
+	js, err := s.Submit(fastRequest(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, js); bytes.Contains(st.Result, []byte(`"front`)) {
+		t.Errorf("scalar result leaks front fields: %s", st.Result)
+	}
+}
