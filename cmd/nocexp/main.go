@@ -10,6 +10,7 @@
 //	nocexp -exp vsrandom                # guided mapping vs random ([4])
 //	nocexp -exp dim3 -depth 4           # 2D vs 3D: 4x4x1 vs 2x2x4, TSV-priced
 //	nocexp -exp pareto                  # energy x latency Pareto front (CDCM components)
+//	nocexp -exp resilience              # fault-blind vs resilience-aware mapping under injected faults
 //	nocexp -exp all
 //
 // Every run is deterministic for a given -seed/-seeds: -workers only
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: table1, table2, fig1..fig5, esvssa, cputime, vsrandom, sensitivity, buffers, ablation, dim3, pareto, all")
+		which    = flag.String("exp", "all", "experiment: table1, table2, fig1..fig5, esvssa, cputime, vsrandom, sensitivity, buffers, ablation, dim3, pareto, resilience, all")
 		seeds    = flag.Int("seeds", 1, "number of search seeds to average over (table2)")
 		steps    = flag.Int("steps", 0, "SA temperature steps (0 = default)")
 		moves    = flag.Int("moves", 0, "SA moves per temperature (0 = default)")
@@ -46,18 +47,20 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "parallel worker goroutines (results are seed-deterministic for any value)")
 		depth    = flag.Int("depth", 4, "Z depth of the 3D shape in the dim3 experiment (2x2xD vs 4x4x1)")
 		topo     = flag.String("topology", "mesh", "grid family for the dim3 experiment: mesh or torus")
+		frate    = flag.Float64("faultrate", 0.08, "link-failure probability for the resilience experiment")
+		fseed    = flag.Int64("faultseed", 2, "fault-injection seed for the resilience experiment")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *which, *seeds, *steps, *moves, *maxTiles, *depth, *topo, *esMax, *samples, *seed, *workers); err != nil {
+	if err := run(ctx, *which, *seeds, *steps, *moves, *maxTiles, *depth, *topo, *esMax, *samples, *seed, *workers, *frate, *fseed); err != nil {
 		fmt.Fprintln(os.Stderr, "nocexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, which string, seeds, steps, moves, maxTiles, depth int, topo string, esMax int64, samples int, seed int64, workers int) error {
+func run(ctx context.Context, which string, seeds, steps, moves, maxTiles, depth int, topo string, esMax int64, samples int, seed int64, workers int, faultRate float64, faultSeed int64) error {
 	suite, err := exp.Table1Suite()
 	if err != nil {
 		return err
@@ -195,6 +198,19 @@ func run(ctx context.Context, which string, seeds, steps, moves, maxTiles, depth
 			return err
 		}
 		fmt.Println(exp.RenderPareto(out))
+	}
+	if which == "resilience" { // analysis extra: not part of "all"
+		g, err := exp.ParetoWorkload(0)
+		if err != nil {
+			return err
+		}
+		out, err := exp.RunResilience(g, 4, 4, noc.Config{},
+			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves, Workers: workers, Ctx: ctx},
+			faultRate, faultSeed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderResilience(out))
 	}
 	if which == "sensitivity" { // analysis extra: not part of "all"
 		var small []exp.Workload

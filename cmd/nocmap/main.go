@@ -9,6 +9,7 @@
 //
 //	nocmap -app app.json -mesh 3x3 -model cdcm -method sa -seed 7 -gantt
 //	nocmap -app app.json -mesh 2x2x4 -routing xyz -model cdcm
+//	nocmap -demo -mesh 3x3 -model resilience -faultrate 0.15 -faultseed 2
 //	nocgen -seed 3 | nocmap -app - -json
 //
 // The first explores a 3x3 mesh under the CDCM objective with simulated
@@ -69,6 +70,8 @@ type options struct {
 	flits      int
 	restarts   int
 	frontSize  int
+	faultRate  float64
+	faultSeed  int64
 	greedySeed bool
 	workers    int
 	cpuProfile string
@@ -84,11 +87,11 @@ func main() {
 	flag.StringVar(&o.mesh, "mesh", "", "grid dimensions WxH or WxHxD (default: smallest square fitting the cores)")
 	flag.IntVar(&o.depth, "depth", 0, "stack a WxH -mesh into D layers (alternative to the WxHxD spec; 0 = 1 layer)")
 	flag.StringVar(&o.topo, "topology", "mesh", "grid family: mesh or torus")
-	flag.StringVar(&o.model, "model", "cdcm", "mapping model: cwm, cdcm or pareto (multi-objective front)")
+	flag.StringVar(&o.model, "model", "cdcm", "mapping model: cwm, cdcm, pareto (multi-objective front) or resilience (fault-aware, needs -faultrate)")
 	flag.StringVar(&o.method, "method", "sa", "search method: sa, es, random, hill, tabu (ignored by -model pareto)")
 	flag.Int64Var(&o.seed, "seed", 1, "search seed")
 	flag.StringVar(&o.tech, "tech", "0.07um", "technology profile: 0.35um, 0.07um or paper")
-	flag.StringVar(&o.routing, "routing", "xy", "routing algorithm: xy, yx, xyz or zyx")
+	flag.StringVar(&o.routing, "routing", "xy", "routing algorithm: xy, yx, xyz, zyx or fa (fault-aware table routing)")
 	flag.BoolVar(&o.gantt, "gantt", false, "print the timing diagram of the winning mapping")
 	flag.BoolVar(&o.annotate, "annotate", false, "print per-resource occupancy annotations")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the machine-readable result (same schema as the nocd daemon)")
@@ -96,6 +99,8 @@ func main() {
 	flag.IntVar(&o.flits, "flitbits", 1, "link width in bits per flit")
 	flag.IntVar(&o.restarts, "restarts", 1, "independent SA restarts (seeds seed..seed+n-1, best wins); pareto walks when -model pareto")
 	flag.IntVar(&o.frontSize, "frontsize", 0, "bound on the Pareto front of -model pareto (0 = engine default)")
+	flag.Float64Var(&o.faultRate, "faultrate", 0, "inject link faults: per-link failure probability (deterministic under -faultseed)")
+	flag.Int64Var(&o.faultSeed, "faultseed", 0, "fault-injection seed for -faultrate")
 	flag.BoolVar(&o.greedySeed, "greedy", false, "warm-start the search with the deterministic highest-traffic-first placement")
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "parallel worker goroutines (results are seed-deterministic for any value)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the exploration to this file")
@@ -151,6 +156,8 @@ func run(o options) error {
 		Seed:       o.seed,
 		Restarts:   o.restarts,
 		FrontSize:  o.frontSize,
+		FaultRate:  o.faultRate,
+		FaultSeed:  o.faultSeed,
 		GreedySeed: o.greedySeed,
 		Workers:    o.workers,
 	}
@@ -231,6 +238,25 @@ func run(o options) error {
 			rows[i] = row
 		}
 		fmt.Fprint(o.stdout, trace.Table(headers, rows))
+	}
+
+	if sc := res.Resilience; sc != nil {
+		fmt.Fprintf(o.stdout, "\nresilience over faults [%s]: score %.1f, worst fault %s (texec %d cycles, +%d), %d unreachable\n",
+			sc.FaultKey, sc.Score, sc.WorstElement, sc.WorstExecCycles, sc.WorstExecCycles-sc.BaseExecCycles, sc.Unreachable)
+		headers := []string{"element", "texec (cy)", "dt (cy)", "dE (pJ)", "note"}
+		rows := make([][]string, len(sc.Impacts))
+		for i, imp := range sc.Impacts {
+			note := ""
+			if imp.Unreachable {
+				note = "unreachable (penalised)"
+			}
+			rows[i] = []string{imp.Element, fmt.Sprint(imp.ExecCycles),
+				fmt.Sprint(imp.DeltaCycles), fmt.Sprintf("%.5g", imp.DeltaJ*1e12), note}
+		}
+		fmt.Fprint(o.stdout, trace.Table(headers, rows))
+		for _, rec := range sc.Recommendations {
+			fmt.Fprintf(o.stdout, "note: %s\n", rec)
+		}
 	}
 
 	if o.gantt || o.annotate {

@@ -246,6 +246,34 @@ func TestRunJSONOutputSharedSchemaAndDeterminism(t *testing.T) {
 	}
 }
 
+func TestRunResilienceEndToEnd(t *testing.T) {
+	// Rate 0.3 / seed 6 deterministically fails link 2-3 of the 2x2 and
+	// keeps the grid connected; the human report must carry the
+	// degradation block.
+	var out bytes.Buffer
+	if err := run(options{demo: true, mesh: "2x2", model: "resilience", method: "es",
+		tech: "0.07um", routing: "xy", seed: 1, flits: 1, restarts: 1, workers: 2,
+		faultRate: 0.3, faultSeed: 6, stdout: &out}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"resilience over faults [link 2-3]", "score", "dt (cy)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("human report missing %q:\n%s", want, out.String())
+		}
+	}
+	// Faults without a fault-capable objective request are still valid —
+	// any model scores its winner over the injected set.
+	out.Reset()
+	if err := run(options{demo: true, mesh: "2x2", model: "cwm", method: "sa",
+		tech: "0.07um", routing: "xy", seed: 1, flits: 1, restarts: 1, workers: 1,
+		faultRate: 0.3, faultSeed: 6, stdout: &out}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "resilience over faults") {
+		t.Errorf("cwm run with -faultrate missing resilience block:\n%s", out.String())
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	base := options{demo: true, flits: 1, restarts: 1, workers: 1, stdout: io.Discard}
 	cases := []struct {
@@ -257,6 +285,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"bad method", func(o options) options { o.method = "xxx"; return o }},
 		{"bad tech", func(o options) options { o.tech = "90nm"; return o }},
 		{"bad routing", func(o options) options { o.routing = "zz"; return o }},
+		{"resilience without faults", func(o options) options { o.model = "resilience"; return o }},
+		{"bad fault rate", func(o options) options { o.faultRate = 1.5; return o }},
 		{"bad format", func(o options) options {
 			o.demo = false
 			o.appPath = "-"

@@ -82,6 +82,27 @@
 // (internal/exp, `nocexp -exp dim3`) compares the same application on a
 // planar grid and an equal-tile-count 3-D stack.
 //
+// Faults are first-class: topology.FaultSet marks failed links, routers
+// and TSVs over any grid (enumerated explicitly or drawn by
+// topology.GenerateFaults from a rate and seed), and
+// topology.RouteFault computes fault-aware routes — the dimension-ordered
+// route when it is clean, else a deadlock-safe negative-first detour,
+// else an unrestricted escape path, else topology.ErrUnreachable. The
+// fault-aware contract is deterministic end to end: routes depend only
+// on (grid, fault set, algorithm) — never on map order, timing or worker
+// count — wormhole.NewSimulatorFaults precomputes them into the same
+// flattened route table the intact simulator uses (a nil fault set is
+// bit-identical to NewSimulator, pinned by test), and the
+// core.Resilience objective prices a mapping as intact energy plus its
+// worst-case texec over single-fault scenarios, with unreachable
+// scenarios charged a documented penalty
+// (core.UnreachablePenaltyFactor × intact texec) instead of failing the
+// search. core.Explore scores any strategy's winner over the run's
+// fault set (core.ExploreResult.Resilience) and
+// core.StrategyResilience optimises for it; the report flows through
+// the service schema, `nocmap -model resilience -faultrate` and
+// `nocexp -exp resilience`. See README "Fault injection and resilience".
+//
 // Layout:
 //
 //	internal/graph      DAG utilities

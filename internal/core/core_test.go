@@ -345,8 +345,8 @@ func TestStrategyRoundTrip(t *testing.T) {
 			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", strings.ToUpper(name), got, err, s)
 		}
 	}
-	if n != 3 {
-		t.Errorf("walked %d strategies before the ? sentinel, want 3 (CWM, CDCM, pareto)", n)
+	if n != 4 {
+		t.Errorf("walked %d strategies before the ? sentinel, want 4 (CWM, CDCM, pareto, resilience)", n)
 	}
 	if Strategy(n).String() != "?" {
 		t.Errorf("Strategy(%d).String() = %q, want the ? sentinel", n, Strategy(n).String())

@@ -24,6 +24,10 @@ const (
 	StrategyCWM Strategy = iota
 	StrategyCDCM
 	StrategyPareto
+	// StrategyResilience optimises the fault-degradation objective
+	// (core.Resilience): intact ENoC plus worst-case texec over the
+	// single-fault scenarios of Options.Faults, which must be non-empty.
+	StrategyResilience
 )
 
 func (s Strategy) String() string {
@@ -34,6 +38,8 @@ func (s Strategy) String() string {
 		return "CDCM"
 	case StrategyPareto:
 		return "pareto"
+	case StrategyResilience:
+		return "resilience"
 	}
 	return "?"
 }
@@ -47,6 +53,8 @@ func ParseStrategy(s string) (Strategy, error) {
 		return StrategyCDCM, nil
 	case "pareto", "PARETO":
 		return StrategyPareto, nil
+	case "resilience", "RESILIENCE":
+		return StrategyResilience, nil
 	}
 	return 0, fmt.Errorf("core: unknown mapping strategy %q", s)
 }
@@ -139,6 +147,13 @@ type Options struct {
 	// CompareModels (0 or 1 = serial). For a fixed Seed the results are
 	// bit-identical across Workers values; Workers only buys wall-clock.
 	Workers int
+	// Faults, when non-empty, is the fault set resilience runs score
+	// against. StrategyResilience requires it; with the other strategies
+	// it leaves the search objective untouched but makes Explore attach a
+	// ResilienceScore for the winning mapping (and StrategyPareto explores
+	// the resilience axes instead of CDCM's). Nil or empty is the intact
+	// behaviour, bit for bit.
+	Faults *topology.FaultSet
 	// Ctx, when non-nil, cancels a running exploration: every engine
 	// polls it on its hot loop and Explore returns ctx.Err(). A nil Ctx
 	// (the default) is bit-identical to the historical behaviour — the
@@ -167,6 +182,9 @@ type ExploreResult struct {
 	// lowest-collapse point is Best; the scalar Search fields summarise
 	// the same run (BestCost = that point's ENoC collapse).
 	Front *search.FrontResult
+	// Resilience is the fault-degradation report for Best, present
+	// whenever Options.Faults was non-empty (any strategy), nil otherwise.
+	Resilience *ResilienceScore
 }
 
 // GreedyInitial builds the constructive warm-start placement for an
@@ -195,15 +213,32 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 	// concurrently against the shared immutable core.
 	var newObjective search.ObjectiveFactory
 	var cdcmBase *CDCM
+	var resBase *Resilience
 	switch strategy {
 	case StrategyCWM:
 		newObjective = func() (search.Objective, error) { return NewCWM(mesh, cfg, tech, g.ToCWG()) }
-	case StrategyCDCM, StrategyPareto:
+	case StrategyCDCM, StrategyPareto, StrategyResilience:
 		var err error
-		if cdcmBase, err = NewCDCM(mesh, cfg, tech, g); err != nil {
-			return nil, err
+		// A non-empty fault set turns the resilience objective on:
+		// StrategyResilience requires it, and StrategyPareto then explores
+		// the resilience axes (intact energy × worst-fault latency) instead
+		// of CDCM's. The empty-fault CDCM/Pareto paths are untouched.
+		switch {
+		case strategy == StrategyResilience || (strategy == StrategyPareto && !opts.Faults.Empty()):
+			if opts.Faults.Empty() {
+				return nil, fmt.Errorf("core: %s strategy needs a non-empty fault set (Options.Faults)", strategy)
+			}
+			if resBase, err = NewResilience(mesh, cfg, tech, g, opts.Faults); err != nil {
+				return nil, err
+			}
+			cdcmBase = resBase.Intact()
+			newObjective = func() (search.Objective, error) { return resBase.Clone(), nil }
+		default:
+			if cdcmBase, err = NewCDCM(mesh, cfg, tech, g); err != nil {
+				return nil, err
+			}
+			newObjective = func() (search.Objective, error) { return cdcmBase.Clone(), nil }
 		}
-		newObjective = func() (search.Objective, error) { return cdcmBase.Clone(), nil }
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %d", strategy)
 	}
@@ -255,7 +290,7 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 		if err != nil {
 			return nil, err
 		}
-		return &ExploreResult{
+		out := &ExploreResult{
 			Strategy: strategy,
 			Search: &search.Result{
 				Best:         best.Mapping,
@@ -267,7 +302,11 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 			Best:    best.Mapping,
 			Metrics: metrics,
 			Front:   front,
-		}, nil
+		}
+		if err := attachResilience(out, resBase, mesh, cfg, tech, g, opts.Faults); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 
 	var (
@@ -348,7 +387,34 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 	if err != nil {
 		return nil, err
 	}
-	return &ExploreResult{Strategy: strategy, Search: res, Best: res.Best, Metrics: metrics}, nil
+	out := &ExploreResult{Strategy: strategy, Search: res, Best: res.Best, Metrics: metrics}
+	if err := attachResilience(out, resBase, mesh, cfg, tech, g, opts.Faults); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// attachResilience scores the winning mapping over the run's fault set
+// (no-op when none was configured). Runs that already built a resilience
+// evaluator reuse it; the CWM/CDCM strategies build one here just to
+// score their winner.
+func attachResilience(out *ExploreResult, resBase *Resilience, mesh *topology.Mesh, cfg noc.Config,
+	tech energy.Tech, g *model.CDCG, fs *topology.FaultSet) error {
+	if fs.Empty() {
+		return nil
+	}
+	if resBase == nil {
+		var err error
+		if resBase, err = NewResilience(mesh, cfg, tech, g, fs); err != nil {
+			return err
+		}
+	}
+	sc, err := resBase.Score(out.Best)
+	if err != nil {
+		return err
+	}
+	out.Resilience = sc
+	return nil
 }
 
 // CompareOptions tunes the Table-2 protocol.

@@ -108,6 +108,26 @@ func TestGoldenPareto(t *testing.T) {
 	checkGolden(t, "pareto.golden", RenderPareto(out))
 }
 
+func TestGoldenResilience(t *testing.T) {
+	g, err := ParetoWorkload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault draw 0.08/seed 2 fails two links of the 4x4; the pinned
+	// report must show the resilience-driven mapping beating the
+	// energy-optimal one on worst-case-fault latency (the acceptance
+	// criterion of the resilience subsystem).
+	out, err := RunResilience(g, 4, 4, noc.Config{}, goldenOptions(), 0.08, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Resilient.WorstExecCycles >= out.Energy.WorstExecCycles {
+		t.Fatalf("resilience winner's worst-fault texec %d does not beat the energy-optimal mapping's %d",
+			out.Resilient.WorstExecCycles, out.Energy.WorstExecCycles)
+	}
+	checkGolden(t, "resilience.golden", RenderResilience(out))
+}
+
 func TestGoldenSensitivity(t *testing.T) {
 	outs, err := RunSensitivity(nil, goldenSuite(t), noc.Config{}, 50, 7, 1)
 	if err != nil {

@@ -118,7 +118,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("noc: clock period must be positive, got %g", c.ClockNS)
 	}
 	switch c.Routing {
-	case topology.RouteXY, topology.RouteYX, topology.RouteXYZ, topology.RouteZYX:
+	case topology.RouteXY, topology.RouteYX, topology.RouteXYZ, topology.RouteZYX, topology.RouteFA:
 	default:
 		return fmt.Errorf("noc: unknown routing algorithm %d", c.Routing)
 	}

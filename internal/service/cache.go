@@ -10,6 +10,13 @@ import (
 // key to encoded result bytes. Values are stored encoded so every reader
 // — first compute, cache hit, follower of an in-flight compute — serves
 // byte-identical JSON.
+//
+// Ownership: the cache owns its bytes. Add copies the value in and Get
+// copies it out, so neither a caller mutating its submission buffer nor
+// one scribbling on a returned result can corrupt what later readers
+// see. The copies cost one allocation per call on result-sized buffers —
+// off the mapping hot path, and the price of the byte-identical replay
+// contract surviving careless callers.
 type lruCache struct {
 	mu    sync.Mutex
 	max   int
@@ -29,7 +36,9 @@ func newLRU(max int) *lruCache {
 	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// Get returns the cached bytes for key and refreshes its recency.
+// Get returns a copy of the cached bytes for key and refreshes its
+// recency. The copy keeps the stored value immune to callers that mutate
+// what they were handed.
 func (c *lruCache) Get(key string) (json.RawMessage, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -38,14 +47,16 @@ func (c *lruCache) Get(key string) (json.RawMessage, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	return append(json.RawMessage(nil), el.Value.(*lruEntry).val...), true
 }
 
-// Add stores key's bytes, evicting the least recently used entry when the
-// cache is full.
+// Add stores a copy of key's bytes, evicting the least recently used
+// entry when the cache is full. The copy detaches the stored value from
+// the caller's buffer.
 func (c *lruCache) Add(key string, val json.RawMessage) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	val = append(json.RawMessage(nil), val...)
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*lruEntry).val = val

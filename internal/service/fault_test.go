@@ -1,0 +1,312 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/search"
+)
+
+// fakeClock is a manually advanced time source for the Config.Now seam.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// TestStatusUsesServerClock is the regression test for the clock seam:
+// Job.Status used to read the wall clock directly for the elapsed time
+// of a running job, so a fake-clocked server reported real elapsed
+// times. Every timestamp must come from Config.Now.
+func TestStatusUsesServerClock(t *testing.T) {
+	epoch := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	fc := &fakeClock{t: epoch}
+	s := New(Config{Workers: 1, Now: fc.Now})
+	defer s.Shutdown(context.Background())
+
+	j, err := s.Submit(slowRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := j.Status()
+	if !st.SubmittedAt.Equal(epoch) {
+		t.Fatalf("SubmittedAt %v, want fake epoch %v", st.SubmittedAt, epoch)
+	}
+	waitState(t, j, StateRunning)
+	if got := j.Status().ElapsedMS; got != 0 {
+		t.Fatalf("running job elapsed %vms before the fake clock moved", got)
+	}
+	fc.Advance(1500 * time.Millisecond)
+	if got := j.Status().ElapsedMS; got != 1500 {
+		t.Fatalf("running job elapsed %vms, want 1500 from the fake clock", got)
+	}
+	if _, ok := s.Cancel(j.ID); !ok {
+		t.Fatal("cancel failed")
+	}
+	waitTerminal(t, j)
+	fc.Advance(time.Hour) // once terminal, elapsed is pinned at finish time
+	st = j.Status()
+	if st.ElapsedMS != 1500 {
+		t.Fatalf("terminal job elapsed %vms, want pinned 1500", st.ElapsedMS)
+	}
+	if st.FinishedAt == nil || !st.FinishedAt.Equal(epoch.Add(1500*time.Millisecond)) {
+		t.Fatalf("FinishedAt %v, want fake finish time", st.FinishedAt)
+	}
+}
+
+// TestCacheCopiesOnBothSides is the regression test for result aliasing:
+// the LRU used to store and return the caller's json.RawMessage slice,
+// so a caller scribbling on either buffer corrupted every later cache
+// hit. Add must copy in; Get must copy out.
+func TestCacheCopiesOnBothSides(t *testing.T) {
+	c := newLRU(4)
+	want := `{"a":1}`
+	val := json.RawMessage(want)
+	c.Add("k", val)
+	val[1] = 'X' // caller mutates its buffer after Add
+
+	got, ok := c.Get("k")
+	if !ok {
+		t.Fatal("miss")
+	}
+	if string(got) != want {
+		t.Fatalf("Add aliased the caller's buffer: cached %q", got)
+	}
+	got[1] = 'Y' // caller mutates what Get handed out
+	again, ok := c.Get("k")
+	if !ok {
+		t.Fatal("miss")
+	}
+	if string(again) != want {
+		t.Fatalf("Get aliased the stored buffer: cached %q", again)
+	}
+}
+
+// TestEventsSubscribeAfterFinish: attaching to a job that was already
+// terminal before the stream existed (here: a cache hit, terminal at
+// submission) must deliver the done event promptly — the Done() arm is
+// authoritative, not the per-subscriber channel that never saw a finish.
+func TestEventsSubscribeAfterFinish(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	_, first := postJob(t, ts, `{"demo":true,"mesh":"2x2","model":"cwm","method":"sa","seed":4}`)
+	pollUntil(t, ts, first.ID, StateSucceeded)
+	_, hit := postJob(t, ts, `{"demo":true,"mesh":"2x2","model":"cwm","method":"sa","seed":4}`)
+	if !hit.CacheHit || !hit.State.Terminal() {
+		t.Fatalf("resubmission not a terminal cache hit: %+v", hit)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	start := time.Now()
+	resp, err := client.Get(ts.URL + "/v1/jobs/" + hit.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("terminal job stream took %v to close", elapsed)
+	}
+	if !strings.Contains(body, `"type":"done"`) || !strings.Contains(body, `"state":"succeeded"`) {
+		t.Fatalf("terminal job stream missing done event: %q", body)
+	}
+}
+
+// TestEventsDoneSurvivesFullSubscriberBuffer: finish's per-subscriber
+// done delivery is best-effort and drops when a subscriber's buffer is
+// full; the HTTP stream must still terminate with a done event because
+// it selects on Job.Done(). A rogue undrained subscriber must neither
+// block the finish nor steal the stream's terminal event.
+func TestEventsDoneSurvivesFullSubscriberBuffer(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+	_, st := postJob(t, ts, `{"demo":true,"mesh":"3x3","model":"cdcm","method":"sa","seed":2,
+		"temp_steps":1048576,"moves_per_temp":4096,"stall_steps":1048576}`)
+	j, ok := s.Job(st.ID)
+	if !ok {
+		t.Fatal("job not tracked")
+	}
+	waitState(t, j, StateRunning)
+
+	rogue := j.subscribe() // never drained
+	defer j.unsubscribe(rogue)
+	for i := 0; i < 3*cap(rogue); i++ {
+		j.publishProgress(search.Progress{Engine: "test", Step: i, Steps: 100})
+	}
+	if len(rogue) != cap(rogue) {
+		t.Fatalf("rogue buffer %d/%d not full", len(rogue), cap(rogue))
+	}
+
+	client := &http.Client{Timeout: 15 * time.Second}
+	resp, err := client.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, ok := s.Cancel(st.ID); !ok {
+		t.Fatal("cancel failed")
+	}
+	body, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, `"type":"done"`) || !strings.Contains(body, `"state":"canceled"`) {
+		t.Fatalf("stream missing authoritative done event: %q", body)
+	}
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("Done() not closed after finish")
+	}
+	// The rogue channel stayed full of progress: the done event was
+	// dropped there, never delivered late, never blocked the finish.
+	for len(rogue) > 0 {
+		if ev := <-rogue; ev.Type == "done" {
+			t.Fatal("full subscriber received a done event")
+		}
+	}
+}
+
+func resilienceRequest(seed int64) *Request {
+	return &Request{Demo: true, Mesh: "3x3", Model: "resilience", Method: "sa", Seed: seed,
+		TempSteps: 8, MovesPerTemp: 10, FaultRate: 0.15, FaultSeed: 2}
+}
+
+// TestResilienceJobSchemaAndCache runs the new experiment type end to
+// end through the service: a resilience job succeeds, carries the
+// degradation report, replays byte-identically from the cache, and the
+// fault fields are part of the instance key.
+func TestResilienceJobSchemaAndCache(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+
+	j1, err := s.Submit(resilienceRequest(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := waitTerminal(t, j1)
+	if st1.State != StateSucceeded || st1.CacheHit {
+		t.Fatalf("resilience job: %+v", st1)
+	}
+	var res Result
+	if err := json.Unmarshal(st1.Result, &res); err != nil {
+		t.Fatalf("result does not decode: %v", err)
+	}
+	if res.Model != "resilience" {
+		t.Fatalf("model = %q", res.Model)
+	}
+	r := res.Resilience
+	if r == nil {
+		t.Fatal("resilience job without resilience block")
+	}
+	if r.FaultSet == "" || len(r.Impacts) == 0 {
+		t.Fatalf("degenerate resilience block: %+v", r)
+	}
+	if r.Score <= 0 || r.Score > 100 {
+		t.Fatalf("score %v outside (0,100]", r.Score)
+	}
+	if r.WorstExecCycles < r.BaseExecCycles {
+		t.Fatalf("worst %d < base %d", r.WorstExecCycles, r.BaseExecCycles)
+	}
+	if len(r.Recommendations) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for _, imp := range r.Impacts {
+		if imp.Element == "" || imp.ExecCycles <= 0 {
+			t.Fatalf("malformed impact %+v", imp)
+		}
+	}
+
+	// Byte-identical cache replay.
+	j2, err := s.Submit(resilienceRequest(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := waitTerminal(t, j2)
+	if st2.State != StateSucceeded || !st2.CacheHit {
+		t.Fatalf("resubmission not cached: %+v", st2)
+	}
+	if !bytes.Equal(st1.Result, st2.Result) {
+		t.Error("cached resilience result not byte-identical")
+	}
+
+	// The fault fields are keyed: a different seed or an explicit set is
+	// a different instance.
+	reseeded := resilienceRequest(7)
+	reseeded.FaultSeed = 5
+	explicit := resilienceRequest(7)
+	explicit.FaultRate, explicit.FaultSeed = 0, 0
+	explicit.FaultSet = &FaultSetJSON{Links: [][2]int{{3, 4}}}
+	for name, req := range map[string]*Request{"fault_seed": reseeded, "fault_set": explicit} {
+		j, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := waitTerminal(t, j); st.CacheHit || st.Key == st1.Key || st.State != StateSucceeded {
+			t.Errorf("%s change still hit the cache: %+v", name, st)
+		}
+	}
+
+	// A CDCM job with the same faults attaches the same-shaped block but
+	// keys differently from its intact twin.
+	intact := &Request{Demo: true, Mesh: "3x3", Model: "cdcm", Method: "sa", Seed: 7, TempSteps: 8, MovesPerTemp: 10}
+	faulted := &Request{Demo: true, Mesh: "3x3", Model: "cdcm", Method: "sa", Seed: 7, TempSteps: 8, MovesPerTemp: 10,
+		FaultRate: 0.15, FaultSeed: 2}
+	ji, err := s.Submit(intact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := s.Submit(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sti, stf := waitTerminal(t, ji), waitTerminal(t, jf)
+	if sti.Key == stf.Key {
+		t.Error("fault fields not part of the instance key")
+	}
+	if bytes.Contains(sti.Result, []byte(`"resilience"`)) {
+		t.Errorf("intact result leaks resilience block: %s", sti.Result)
+	}
+	if !bytes.Contains(stf.Result, []byte(`"resilience"`)) {
+		t.Errorf("faulted cdcm result missing resilience block: %s", stf.Result)
+	}
+}
+
+// TestFaultRequestValidation pins the service-level fault validation.
+func TestFaultRequestValidation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	cases := map[string]*Request{
+		"both forms": {Demo: true, Mesh: "3x3", Model: "cdcm",
+			FaultRate: 0.1, FaultSet: &FaultSetJSON{Links: [][2]int{{0, 1}}}},
+		"resilience without faults": {Demo: true, Mesh: "3x3", Model: "resilience"},
+		"resilience empty draw":     {Demo: true, Mesh: "3x3", Model: "resilience", FaultRate: 0.15, FaultSeed: 3},
+		"non-adjacent link":         {Demo: true, Mesh: "3x3", Model: "cdcm", FaultSet: &FaultSetJSON{Links: [][2]int{{0, 5}}}},
+		"horizontal tsv":            {Demo: true, Mesh: "3x3", Model: "cdcm", FaultSet: &FaultSetJSON{TSVs: [][2]int{{0, 1}}}},
+		"router out of range":       {Demo: true, Mesh: "3x3", Model: "cdcm", FaultSet: &FaultSetJSON{Routers: []int{99}}},
+		"rate out of range":         {Demo: true, Mesh: "3x3", Model: "cdcm", FaultRate: 1.5},
+	}
+	for name, req := range cases {
+		if _, err := s.Submit(req); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

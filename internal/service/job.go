@@ -76,6 +76,9 @@ type Job struct {
 	ID  string
 	key string
 	in  *Instance
+	// clock is the server's time source (the Server.now seam), so status
+	// snapshots of fake-clocked servers report fake elapsed times too.
+	clock func() time.Time
 
 	mu        sync.Mutex
 	state     State
@@ -96,13 +99,17 @@ type Job struct {
 	followers []*Job
 }
 
-func newJob(id, key string, in *Instance, now time.Time) *Job {
+func newJob(id, key string, in *Instance, clock func() time.Time) *Job {
+	if clock == nil {
+		clock = time.Now
+	}
 	return &Job{
 		ID:        id,
 		key:       key,
 		in:        in,
+		clock:     clock,
 		state:     StateQueued,
-		submitted: now,
+		submitted: clock(),
 		done:      make(chan struct{}),
 		subs:      make(map[chan Event]struct{}),
 	}
@@ -136,7 +143,9 @@ func (j *Job) Status() JobStatus {
 		st.StartedAt = &t
 		end := j.finished
 		if end.IsZero() {
-			end = time.Now()
+			// Still running: measure against the server clock seam, not the
+			// wall clock, so fake-clocked tests see consistent elapsed times.
+			end = j.clock()
 		}
 		st.ElapsedMS = float64(end.Sub(j.started).Nanoseconds()) / 1e6
 	}

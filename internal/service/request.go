@@ -45,15 +45,18 @@ type Request struct {
 	Topology string `json:"topology,omitempty"`
 	// Depth stacks a planar Mesh into this many layers.
 	Depth int `json:"depth,omitempty"`
-	// Routing is "xy" (default), "yx", "xyz" or "zyx".
+	// Routing is "xy" (default), "yx", "xyz", "zyx" or "fa"
+	// (fault-aware: XY on intact pairs, turn-restricted detours around a
+	// configured fault set).
 	Routing string `json:"routing,omitempty"`
 	// FlitBits is the link width in bits per flit (default 1).
 	FlitBits int `json:"flit_bits,omitempty"`
 	// Tech is "0.35um", "0.07um" (default) or "paper".
 	Tech string `json:"tech,omitempty"`
 
-	// Model is the mapping strategy: "cwm", "cdcm" (default) or
-	// "pareto" (multi-objective exploration over the CDCM components).
+	// Model is the mapping strategy: "cwm", "cdcm" (default), "pareto"
+	// (multi-objective exploration over the CDCM components) or
+	// "resilience" (fault-degradation objective; needs a fault set).
 	Model string `json:"model,omitempty"`
 	// Method is the search engine: "sa" (default), "es", "random",
 	// "hill" or "tabu". The pareto model has exactly one engine (the
@@ -86,6 +89,28 @@ type Request struct {
 	// highest-traffic-first constructive placement instead of a random
 	// mapping (mapping.SeedGreedy).
 	GreedySeed bool `json:"greedy_seed,omitempty"`
+
+	// FaultSet enumerates explicit failed NoC elements; FaultRate/
+	// FaultSeed instead draw a deterministic random fault set
+	// (topology.GenerateFaults — every bidirectional link pair fails with
+	// probability FaultRate under FaultSeed). The two forms are mutually
+	// exclusive. A non-empty resolved fault set makes every model attach a
+	// resilience score for its winner, is required by model "resilience",
+	// and switches model "pareto" to the resilience axes; the resolved
+	// set's canonical form is part of the cache key. Omitting both is the
+	// intact behaviour, bit for bit.
+	FaultSet  *FaultSetJSON `json:"fault_set,omitempty"`
+	FaultRate float64       `json:"fault_rate,omitempty"`
+	FaultSeed int64         `json:"fault_seed,omitempty"`
+}
+
+// FaultSetJSON is the explicit fault enumeration of a request: failed
+// bidirectional links and TSVs as [from, to] tile pairs, failed routers
+// as tile IDs (all 0-based, the numbering of the result's mapping).
+type FaultSetJSON struct {
+	Links   [][2]int `json:"links,omitempty"`
+	Routers []int    `json:"routers,omitempty"`
+	TSVs    [][2]int `json:"tsvs,omitempty"`
 }
 
 // Instance is a fully resolved, validated Request: the form the daemon
@@ -186,6 +211,36 @@ func (r *Request) Resolve() (*Instance, error) {
 		return nil, badRequest("negative engine tuning value")
 	}
 
+	var faults *topology.FaultSet
+	switch {
+	case r.FaultSet != nil && r.FaultRate != 0:
+		return nil, badRequest("fault_set and fault_rate are mutually exclusive")
+	case r.FaultSet != nil:
+		faults = topology.NewFaultSet(mesh)
+		for _, t := range r.FaultSet.Routers {
+			if err := faults.FailRouter(topology.TileID(t)); err != nil {
+				return nil, badRequest("fault_set: %v", err)
+			}
+		}
+		for _, l := range r.FaultSet.Links {
+			if err := faults.FailLink(topology.TileID(l[0]), topology.TileID(l[1])); err != nil {
+				return nil, badRequest("fault_set: %v", err)
+			}
+		}
+		for _, l := range r.FaultSet.TSVs {
+			if err := faults.FailTSV(topology.TileID(l[0]), topology.TileID(l[1])); err != nil {
+				return nil, badRequest("fault_set: %v", err)
+			}
+		}
+	case r.FaultRate != 0:
+		if faults, err = topology.GenerateFaults(mesh, r.FaultRate, r.FaultSeed); err != nil {
+			return nil, badRequest("%v", err)
+		}
+	}
+	if strategy == core.StrategyResilience && faults.Empty() {
+		return nil, badRequest("model resilience needs a non-empty fault set (fault_set, or fault_rate drawing at least one fault)")
+	}
+
 	return &Instance{
 		G:        g,
 		Mesh:     mesh,
@@ -208,6 +263,7 @@ func (r *Request) Resolve() (*Instance, error) {
 			SeedGreedy:   r.GreedySeed,
 			Restarts:     restarts,
 			Workers:      r.Workers,
+			Faults:       faults,
 		},
 	}, nil
 }
@@ -239,6 +295,13 @@ func (in *Instance) Key() string {
 		in.Strategy, in.Method, o.Seed, o.Restarts, o.TempSteps, o.MovesPerTemp,
 		o.Alpha, o.StallSteps, o.Reheats, o.Samples, o.ESLimit, o.ESAnchor,
 		o.FrontSize, o.SeedGreedy)
+	// The resolved fault set, in canonical element form: fault_set and
+	// fault_rate submissions resolving to the same failed elements share a
+	// cache entry, and an empty set hashes exactly like the pre-fault
+	// schema so existing keys are unchanged.
+	if !o.Faults.Empty() {
+		fmt.Fprintf(h, "faults:%s\n", o.Faults.Key())
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

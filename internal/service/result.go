@@ -61,6 +61,45 @@ type Result struct {
 	// fresh responses stay byte-identical.
 	FrontAxes []string         `json:"front_axes,omitempty"`
 	Front     []FrontPointJSON `json:"front,omitempty"`
+
+	// Resilience is the fault-degradation report of the winning mapping,
+	// present whenever the request configured a non-empty fault set (any
+	// model) and omitted otherwise. It is a pure function of the instance
+	// like the rest of Result, so the byte-identical replay contract
+	// holds for resilience jobs too.
+	Resilience *ResilienceJSON `json:"resilience,omitempty"`
+}
+
+// ResilienceJSON is the result-schema form of core.ResilienceScore.
+type ResilienceJSON struct {
+	// FaultSet is the canonical fault enumeration the score covers.
+	FaultSet string `json:"fault_set"`
+	// Score grades the mapping 0..100 (100 × intact texec / worst-fault
+	// texec; unreachable scenarios enter through the documented penalty).
+	Score float64 `json:"score"`
+	// Intact baseline and degradation summary.
+	BaseExecCycles  int64   `json:"base_exec_cycles"`
+	BaseTotalJ      float64 `json:"base_total_j"`
+	WorstExecCycles int64   `json:"worst_exec_cycles"`
+	WorstElement    string  `json:"worst_element,omitempty"`
+	MeanExecCycles  float64 `json:"mean_exec_cycles"`
+	WorstDeltaJ     float64 `json:"worst_delta_j"`
+	MeanDeltaJ      float64 `json:"mean_delta_j"`
+	Unreachable     int     `json:"unreachable"`
+	// Impacts is the per-fault breakdown in canonical element order.
+	Impacts []FaultImpactJSON `json:"impacts"`
+	// Recommendations are the deterministic rule-based notes.
+	Recommendations []string `json:"recommendations"`
+}
+
+// FaultImpactJSON is one single-fault scenario of the breakdown.
+type FaultImpactJSON struct {
+	Element     string  `json:"element"`
+	Unreachable bool    `json:"unreachable,omitempty"`
+	ExecCycles  int64   `json:"exec_cycles"`
+	TotalJ      float64 `json:"total_j"`
+	DeltaCycles int64   `json:"delta_cycles"`
+	DeltaJ      float64 `json:"delta_j"`
 }
 
 // FrontPointJSON is one Pareto-front point in the result schema.
@@ -135,6 +174,41 @@ func NewResult(in *Instance, res *core.ExploreResult) *Result {
 
 		FrontAxes: frontAxes,
 		Front:     front,
+
+		Resilience: resilienceJSON(res.Resilience),
+	}
+}
+
+// resilienceJSON converts the core degradation report into the result
+// schema (nil in, nil out).
+func resilienceJSON(sc *core.ResilienceScore) *ResilienceJSON {
+	if sc == nil {
+		return nil
+	}
+	impacts := make([]FaultImpactJSON, len(sc.Impacts))
+	for i, imp := range sc.Impacts {
+		impacts[i] = FaultImpactJSON{
+			Element:     imp.Element,
+			Unreachable: imp.Unreachable,
+			ExecCycles:  imp.ExecCycles,
+			TotalJ:      imp.TotalJ,
+			DeltaCycles: imp.DeltaCycles,
+			DeltaJ:      imp.DeltaJ,
+		}
+	}
+	return &ResilienceJSON{
+		FaultSet:        sc.FaultKey,
+		Score:           sc.Score,
+		BaseExecCycles:  sc.BaseExecCycles,
+		BaseTotalJ:      sc.BaseTotalJ,
+		WorstExecCycles: sc.WorstExecCycles,
+		WorstElement:    sc.WorstElement,
+		MeanExecCycles:  sc.MeanExecCycles,
+		WorstDeltaJ:     sc.WorstDeltaJ,
+		MeanDeltaJ:      sc.MeanDeltaJ,
+		Unreachable:     sc.Unreachable,
+		Impacts:         impacts,
+		Recommendations: append([]string(nil), sc.Recommendations...),
 	}
 }
 

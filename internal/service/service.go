@@ -61,6 +61,11 @@ type Config struct {
 	// terminal jobs are forgotten (0 = 4096). Active jobs are never
 	// evicted.
 	MaxJobs int
+	// Now is the server's time source (nil = time.Now). Every timestamp
+	// the service records — submission, start, finish, elapsed-time
+	// snapshots of running jobs — reads this clock, so tests inject a
+	// fake and observe deterministic wall-clock fields.
+	Now func() time.Time
 }
 
 type metrics struct {
@@ -79,6 +84,7 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	maxJobs    int
+	now        func() time.Time
 
 	mu       sync.Mutex
 	closed   bool
@@ -107,6 +113,10 @@ func New(cfg Config) *Server {
 	if maxJobs == 0 {
 		maxJobs = 4096
 	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		pool:       par.NewPool(workers, queue),
@@ -114,6 +124,7 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		maxJobs:    maxJobs,
+		now:        now,
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[string]*Job),
 	}
@@ -128,7 +139,6 @@ func (s *Server) Submit(req *Request) (*Job, error) {
 		return nil, err
 	}
 	key := in.Key()
-	now := time.Now()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -137,13 +147,13 @@ func (s *Server) Submit(req *Request) (*Job, error) {
 		return nil, ErrShuttingDown
 	}
 	s.nextID++
-	j := newJob(fmt.Sprintf("j-%06d", s.nextID), key, in, now)
+	j := newJob(fmt.Sprintf("j-%06d", s.nextID), key, in, s.now)
 
 	if raw, ok := s.cache.Get(key); ok {
 		s.m.submitted.Add(1)
 		s.m.cacheHits.Add(1)
 		s.retain(j)
-		j.finish(raw, nil, true, now)
+		j.finish(raw, nil, true, s.now())
 		s.m.completed.Add(1)
 		return j, nil
 	}
@@ -232,7 +242,7 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 		}
 		j.leader = nil
 		s.mu.Unlock()
-		if j.finish(nil, context.Canceled, false, time.Now()) {
+		if j.finish(nil, context.Canceled, false, s.now()) {
 			s.m.canceled.Add(1)
 		}
 		return j, true
@@ -254,13 +264,13 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 		// The pool has not reached it yet; finish now so the caller sees
 		// a terminal state immediately. runJob's later start() fails and
 		// its finish is a no-op.
-		if j.finish(nil, context.Canceled, false, time.Now()) {
+		if j.finish(nil, context.Canceled, false, s.now()) {
 			s.m.canceled.Add(1)
 		}
 	}
 	// The shared computation is gone; followers cancel with it.
 	for _, f := range followers {
-		if f.finish(nil, fmt.Errorf("%w (shared computation canceled)", context.Canceled), false, time.Now()) {
+		if f.finish(nil, fmt.Errorf("%w (shared computation canceled)", context.Canceled), false, s.now()) {
 			s.m.canceled.Add(1)
 		}
 	}
@@ -271,10 +281,10 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 func (s *Server) runJob(j *Job) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
-	if !j.start(cancel, time.Now()) {
+	if !j.start(cancel, s.now()) {
 		// Canceled while queued; Cancel normally finished it already, so
 		// this finish is usually a no-op.
-		if j.finish(nil, context.Canceled, false, time.Now()) {
+		if j.finish(nil, context.Canceled, false, s.now()) {
 			s.m.canceled.Add(1)
 		}
 		return
@@ -291,7 +301,7 @@ func (s *Server) runJob(j *Job) {
 // finishLeader completes a leader job and everything attached to it, and
 // feeds the cache on success.
 func (s *Server) finishLeader(j *Job, raw json.RawMessage, err error) {
-	now := time.Now()
+	now := s.now()
 	s.mu.Lock()
 	if s.inflight[j.key] == j {
 		delete(s.inflight, j.key)

@@ -1,0 +1,369 @@
+package topology
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// This file pins the fault-injection contracts the resilience objective
+// (internal/core) and the fault-aware wormhole simulator build on:
+//
+//   - a nil or empty FaultSet routes bit-identically to the intact grid;
+//   - fault-aware routes never cross a failed link or router, and report
+//     ErrUnreachable exactly when the faulted graph is disconnected;
+//   - K stays direction-symmetric under (bidirectional) faults;
+//   - GenerateFaults is a pure function of (mesh, rate, seed);
+//   - the canonical element enumeration behind cache keys and per-fault
+//     breakdowns is stable.
+
+// TestTorusTieBreakPositive is the regression test for the chooseDir
+// tie-break: on an even-size torus dimension whose two wrap directions
+// are equally short, the route must take the positive direction (East,
+// South, Down) as the doc comment promises. The pre-fix code kept the
+// negative direction on ties.
+func TestTorusTieBreakPositive(t *testing.T) {
+	cases := []struct {
+		name     string
+		w, h, d  int
+		src, dst TileID
+		want     []TileID
+	}{
+		// 4-wide ring, x: 3->1 is 2 hops either way; East wins: 3,0,1.
+		{"x-axis", 4, 1, 1, 3, 1, []TileID{3, 0, 1}},
+		// 4-tall ring, y: tie breaks South (positive y).
+		{"y-axis", 1, 4, 1, 3, 1, []TileID{3, 0, 1}},
+		// 4-deep ring, z: tie breaks Down (positive z).
+		{"z-axis", 1, 1, 4, 3, 1, []TileID{3, 0, 1}},
+	}
+	for _, tc := range cases {
+		m, err := NewTorus3D(tc.w, tc.h, tc.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range []RoutingAlgo{RouteXY, RouteYX, RouteXYZ, RouteZYX, RouteFA} {
+			r, err := m.Route(algo, tc.src, tc.dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r.Tiles, tc.want) {
+				t.Errorf("%s %v: route %d->%d = %v, want %v (positive-direction tie-break)",
+					tc.name, algo, tc.src, tc.dst, r.Tiles, tc.want)
+			}
+		}
+	}
+	// The fix must not disturb non-tie wraps: on the same 4-wide ring,
+	// 0->3 is 1 hop West and stays West.
+	m, err := NewTorus(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Route(RouteXY, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []TileID{0, 3}; !reflect.DeepEqual(r.Tiles, want) {
+		t.Errorf("non-tie wrap 0->3 = %v, want %v", r.Tiles, want)
+	}
+}
+
+// TestRouteFaultEmptyMatchesRoute pins the zero-cost contract: with a nil
+// or empty fault set, RouteFault returns exactly the intact Route —
+// same tiles, hop for hop — on every grid and algorithm (RouteFA
+// included, which by definition routes like RouteXY when intact).
+func TestRouteFaultEmptyMatchesRoute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	algos := append(append([]RoutingAlgo(nil), propertyAlgos...), RouteFA)
+	for name, m := range propertyGrids(t) {
+		empty := NewFaultSet(m)
+		for _, algo := range algos {
+			for trial := 0; trial < 30; trial++ {
+				src := TileID(rng.Intn(m.NumTiles()))
+				dst := TileID(rng.Intn(m.NumTiles()))
+				want, err := m.Route(algo, src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, fs := range []*FaultSet{nil, empty} {
+					got, err := m.RouteFault(algo, fs, src, dst)
+					if err != nil {
+						t.Fatalf("%s %v: RouteFault with empty set: %v", name, algo, err)
+					}
+					if !reflect.DeepEqual(got.Tiles, want.Tiles) {
+						t.Fatalf("%s %v %d->%d: empty-fault route %v != intact %v",
+							name, algo, src, dst, got.Tiles, want.Tiles)
+					}
+				}
+			}
+		}
+	}
+}
+
+// faultedDist floods the faulted graph from src and returns shortest hop
+// distances, an independent reference for the reachability and
+// lower-bound checks (it shares no code with FaultSet.bfs).
+func faultedDist(m *Mesh, fs *FaultSet, src TileID) []int {
+	n := m.NumTiles()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if fs.RouterFailed(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []TileID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for dir := East; dir <= Up; dir++ {
+			nt, ok := m.step(cur, dir)
+			if !ok {
+				continue
+			}
+			li, _ := m.LinkIndex(cur, nt)
+			if fs.LinkFailed(li) || fs.RouterFailed(nt) || dist[nt] >= 0 {
+				continue
+			}
+			dist[nt] = dist[cur] + 1
+			queue = append(queue, nt)
+		}
+	}
+	return dist
+}
+
+// TestRouteFaultProperties samples random fault sets over the grid matrix
+// and checks, for every ordered pair, the contracts RouteFault documents:
+// the route spans src->dst over real links, never touches a failed link
+// or router, is at least as long as the faulted graph's shortest path,
+// ErrUnreachable fires exactly on disconnection, and K stays symmetric.
+func TestRouteFaultProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for name, m := range propertyGrids(t) {
+		n := m.NumTiles()
+		if n > 36 {
+			continue // all-pairs walks; keep the matrix cheap
+		}
+		for trial := 0; trial < 4; trial++ {
+			fs, err := GenerateFaults(m, 0.18, int64(trial*13+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Mix in a failed router on larger grids so router avoidance
+			// is exercised too, not just link avoidance.
+			if n >= 9 {
+				if err := fs.FailRouter(TileID(rng.Intn(n))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if fs.Empty() {
+				continue
+			}
+			hops := make(map[[2]TileID]int)
+			for a := 0; a < n; a++ {
+				dist := faultedDist(m, fs, TileID(a))
+				for b := 0; b < n; b++ {
+					src, dst := TileID(a), TileID(b)
+					r, err := m.RouteFault(RouteFA, fs, src, dst)
+					reachable := dist[dst] >= 0 && !fs.RouterFailed(src)
+					if err != nil {
+						if !errors.Is(err, ErrUnreachable) {
+							t.Fatalf("%s trial %d %d->%d: %v", name, trial, src, dst, err)
+						}
+						if reachable {
+							t.Fatalf("%s trial %d %d->%d: ErrUnreachable but graph distance %d",
+								name, trial, src, dst, dist[dst])
+						}
+						hops[[2]TileID{src, dst}] = -1
+						continue
+					}
+					if !reachable {
+						t.Fatalf("%s trial %d %d->%d: route %v through a disconnected pair",
+							name, trial, src, dst, r.Tiles)
+					}
+					if r.Tiles[0] != src || r.Tiles[len(r.Tiles)-1] != dst {
+						t.Fatalf("%s trial %d: route %v does not span %d->%d", name, trial, r.Tiles, src, dst)
+					}
+					for i := 0; i+1 < len(r.Tiles); i++ {
+						li, ok := m.LinkIndex(r.Tiles[i], r.Tiles[i+1])
+						if !ok {
+							t.Fatalf("%s trial %d: step %d->%d is not a link", name, trial, r.Tiles[i], r.Tiles[i+1])
+						}
+						if fs.LinkFailed(li) {
+							t.Fatalf("%s trial %d %d->%d: route %v crosses failed link %d-%d",
+								name, trial, src, dst, r.Tiles, r.Tiles[i], r.Tiles[i+1])
+						}
+					}
+					for _, tile := range r.Tiles {
+						if fs.RouterFailed(tile) {
+							t.Fatalf("%s trial %d %d->%d: route %v visits failed router %d",
+								name, trial, src, dst, r.Tiles, tile)
+						}
+					}
+					if r.Hops() < dist[dst] {
+						t.Fatalf("%s trial %d %d->%d: %d hops beats shortest path %d",
+							name, trial, src, dst, r.Hops(), dist[dst])
+					}
+					hops[[2]TileID{src, dst}] = r.Hops()
+				}
+			}
+			for pair, h := range hops {
+				if rev := hops[[2]TileID{pair[1], pair[0]}]; rev != h {
+					t.Fatalf("%s trial %d: K(%d,%d) hops %d != K(%d,%d) hops %d under faults",
+						name, trial, pair[0], pair[1], h, pair[1], pair[0], rev)
+				}
+			}
+		}
+	}
+}
+
+// TestRouteFaultFailedEndpoints pins the endpoint rule: a failed source
+// or destination router is ErrUnreachable, not a crash or a route.
+func TestRouteFaultFailedEndpoints(t *testing.T) {
+	m, err := NewMesh(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultSet(m)
+	if err := fs.FailRouter(4); err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]TileID{{4, 0}, {0, 4}, {4, 4}} {
+		if _, err := m.RouteFault(RouteFA, fs, pair[0], pair[1]); !errors.Is(err, ErrUnreachable) {
+			t.Errorf("route %d->%d with failed router 4: err = %v, want ErrUnreachable", pair[0], pair[1], err)
+		}
+	}
+	// The center router failed on a 3x3 forces corner-to-corner detours:
+	// still reachable, just longer.
+	r, err := m.RouteFault(RouteFA, fs, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hops() < m.MinHops(0, 8) {
+		t.Fatalf("detour route %v shorter than MinHops", r.Tiles)
+	}
+	for _, tile := range r.Tiles {
+		if tile == 4 {
+			t.Fatalf("route %v crosses the failed center router", r.Tiles)
+		}
+	}
+}
+
+// TestFaultSetBasics covers construction, idempotence, validation and the
+// canonical enumeration/key used by cache keys and fault breakdowns.
+func TestFaultSetBasics(t *testing.T) {
+	m, err := NewMesh3D(3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nilSet *FaultSet
+	if !nilSet.Empty() || nilSet.NumFailed() != 0 || nilSet.Key() != "" {
+		t.Fatal("nil fault set is not empty")
+	}
+	if nilSet.LinkFailed(0) || nilSet.RouterFailed(0) {
+		t.Fatal("nil fault set reports failures")
+	}
+
+	fs := NewFaultSet(m)
+	if !fs.Empty() {
+		t.Fatal("fresh fault set not empty")
+	}
+	if err := fs.FailLink(0, 2); err == nil {
+		t.Fatal("FailLink accepted non-adjacent tiles")
+	}
+	if err := fs.FailLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.FailLink(1, 0); err != nil { // idempotent, either order
+		t.Fatal(err)
+	}
+	if fs.NumFailed() != 1 {
+		t.Fatalf("NumFailed = %d after double-failing one pair", fs.NumFailed())
+	}
+	li, _ := m.LinkIndex(0, 1)
+	ri, _ := m.LinkIndex(1, 0)
+	if !fs.LinkFailed(li) || !fs.LinkFailed(ri) {
+		t.Fatal("link failure not bidirectional")
+	}
+	if err := fs.FailTSV(0, 1); err == nil {
+		t.Fatal("FailTSV accepted a horizontal link")
+	}
+	if err := fs.FailTSV(0, 9); err != nil { // 3x3x2: tile 9 is below tile 0
+		t.Fatal(err)
+	}
+	if err := fs.FailRouter(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.FailRouter(99); err == nil {
+		t.Fatal("FailRouter accepted an out-of-range tile")
+	}
+	if got, want := fs.Key(), "router 5,link 0-1,tsv 0-9"; got != want {
+		t.Fatalf("Key = %q, want %q", got, want)
+	}
+	els := fs.Elements()
+	if len(els) != 3 {
+		t.Fatalf("Elements = %v, want 3", els)
+	}
+	for _, e := range els {
+		single, err := fs.Singleton(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.NumFailed() != 1 || single.Key() != e.String() {
+			t.Fatalf("Singleton(%v) = %q", e, single.Key())
+		}
+	}
+}
+
+// TestGenerateFaultsDeterministic pins GenerateFaults as a pure function
+// of (mesh, rate, seed) and its validation.
+func TestGenerateFaultsDeterministic(t *testing.T) {
+	m, err := NewMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := GenerateFaults(m, 0.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFaults(m, 0.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Fatalf("same (mesh,rate,seed) gave %q then %q", a.Key(), b.Key())
+	}
+	if a.Empty() {
+		t.Fatal("rate 0.2 on 4x4 with seed 11 generated no faults; pick a different pin")
+	}
+	c, err := GenerateFaults(m, 0.2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Key() == a.Key() {
+		t.Fatal("different seeds generated identical fault sets")
+	}
+	zero, err := GenerateFaults(m, 0, 11)
+	if err != nil || !zero.Empty() {
+		t.Fatalf("rate 0: %v, empty=%v", err, zero.Empty())
+	}
+	for _, bad := range []float64{-0.1, 1, 1.5} {
+		if _, err := GenerateFaults(m, bad, 1); err == nil {
+			t.Errorf("rate %g accepted", bad)
+		}
+	}
+}
+
+// TestRouteFaultMismatchedMesh pins the cross-mesh guard.
+func TestRouteFaultMismatchedMesh(t *testing.T) {
+	m1, _ := NewMesh(3, 3)
+	m2, _ := NewMesh(3, 3)
+	fs := NewFaultSet(m2)
+	if err := fs.FailLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.RouteFault(RouteFA, fs, 0, 8); err == nil {
+		t.Fatal("RouteFault accepted a fault set over a different mesh")
+	}
+}

@@ -51,6 +51,11 @@ const (
 	// RouteZYX resolves the Z offset first (TSV hops up front), then Y,
 	// then X.
 	RouteZYX
+	// RouteFA is fault-aware routing: identical to RouteXY on an intact
+	// grid, but when paired with a FaultSet (Mesh.RouteFault,
+	// wormhole.NewSimulatorFaults) it detours around failed links and
+	// routers via negative-first turn-restricted search. See RouteFault.
+	RouteFA
 )
 
 // axis identifies one routing dimension.
@@ -81,12 +86,14 @@ func (r RoutingAlgo) String() string {
 		return "XYZ"
 	case RouteZYX:
 		return "ZYX"
+	case RouteFA:
+		return "FA"
 	}
 	return "XY"
 }
 
-// ParseRoutingAlgo converts "xy"/"yx"/"xyz"/"zyx" (case-insensitive) to a
-// RoutingAlgo.
+// ParseRoutingAlgo converts "xy"/"yx"/"xyz"/"zyx"/"fa" (case-insensitive)
+// to a RoutingAlgo.
 func ParseRoutingAlgo(s string) (RoutingAlgo, error) {
 	switch strings.ToLower(s) {
 	case "xy":
@@ -97,6 +104,8 @@ func ParseRoutingAlgo(s string) (RoutingAlgo, error) {
 		return RouteXYZ, nil
 	case "zyx":
 		return RouteZYX, nil
+	case "fa":
+		return RouteFA, nil
 	}
 	return 0, fmt.Errorf("topology: unknown routing algorithm %q", s)
 }
@@ -121,9 +130,12 @@ func (r Route) Hops() int {
 }
 
 // Route computes the deterministic path from src to dst under the given
-// algorithm. On a torus each dimension takes its shortest wrap direction
-// (ties broken towards the positive direction). The result always starts
-// at src and ends at dst; for src == dst it is the single-router route.
+// algorithm. On a torus each dimension takes its shortest wrap direction;
+// when an even-size dimension offers two equally short directions the tie
+// breaks towards the positive one (East, South, Down). The result always
+// starts at src and ends at dst; for src == dst it is the single-router
+// route. RouteFA routes exactly like RouteXY here; its fault-avoiding
+// behaviour only engages through RouteFault with a non-empty FaultSet.
 func (m *Mesh) Route(algo RoutingAlgo, src, dst TileID) (Route, error) {
 	if !m.Valid(src) || !m.Valid(dst) {
 		return Route{}, fmt.Errorf("topology: route endpoints %d->%d outside %dx%dx%d %s",
@@ -182,7 +194,11 @@ func chooseDir(pos, target, size int, torus bool, ax axis) Direction {
 		} else {
 			alt = fwd + size
 		}
-		if abs(alt) < abs(fwd) {
+		// On even-size dimensions the two wrap directions can tie; the
+		// documented tie-break is towards the positive direction (East,
+		// South, Down), so a tying positive alternative replaces a
+		// negative fwd but never the other way round.
+		if abs(alt) < abs(fwd) || (abs(alt) == abs(fwd) && alt > 0) {
 			fwd = alt
 		}
 	}

@@ -11,6 +11,14 @@ import (
 	"repro/internal/topology"
 )
 
+// ErrUnreachable reports that a simulated mapping routes at least one
+// packet between tiles that the simulator's fault set partitions (see
+// NewSimulatorFaults). It is a static sentinel so the allocation-free run
+// path can report it without allocating; resilience scoring treats it as
+// a documented penalty, not a hard failure. errors.Is(err,
+// topology.ErrUnreachable) also matches it.
+var ErrUnreachable = fmt.Errorf("wormhole: packet route crosses a faulted partition: %w", topology.ErrUnreachable)
+
 // ResourceKind classifies the NoC resources tracked by the simulator.
 type ResourceKind int
 
@@ -198,6 +206,13 @@ type Simulator struct {
 	// single mapping.
 	routeOff  []int32
 	routeData []topology.TileID
+	// faults is the fault set the route table was built against (nil for
+	// an intact simulator — the NewSimulator path, which is bit-identical
+	// to the pre-fault behaviour). unreach[src*n+dst] marks tile pairs the
+	// fault set partitions; it is nil when every pair is reachable, so the
+	// intact hot loop pays a single nil check.
+	faults  *topology.FaultSet
+	unreach []bool
 	// portOf[from*n+to] is the dense output-port index for leaving tile
 	// `from` towards adjacent tile `to` (diagonal entries hold the local
 	// port); linkOf[from*n+to] the dense link index. -1 where the tiles
@@ -324,6 +339,18 @@ func (s *Simulator) applyBackpressure(sc *Scratch, tl int64) {
 // computed here, once, so the run hot path is pure table lookups and the
 // shared state never mutates again.
 func NewSimulator(mesh *topology.Mesh, cfg noc.Config, g *model.CDCG) (*Simulator, error) {
+	return NewSimulatorFaults(mesh, cfg, g, nil)
+}
+
+// NewSimulatorFaults is NewSimulator with an optional fault set: the
+// route table is precomputed with Mesh.RouteFault, so detours around
+// failed links/routers cost nothing at run time and Scratch lanes stay
+// allocation-free. Tile pairs the fault set partitions are marked in an
+// unreachable bitmap; simulating a mapping that routes a packet across a
+// partition fails fast with ErrUnreachable (a static sentinel — the hot
+// path allocates nothing to report it). A nil or empty fault set is
+// bit-identical to NewSimulator.
+func NewSimulatorFaults(mesh *topology.Mesh, cfg noc.Config, g *model.CDCG, fs *topology.FaultSet) (*Simulator, error) {
 	if mesh == nil {
 		return nil, errors.New("wormhole: nil mesh")
 	}
@@ -389,8 +416,10 @@ func NewSimulator(mesh *topology.Mesh, cfg noc.Config, g *model.CDCG) (*Simulato
 		}
 	}
 
-	// Full route table, flattened. Route lengths are K = MinHops+1, which
-	// sizes the backing array exactly before the fill pass.
+	// Full route table, flattened. On the intact path route lengths are
+	// K = MinHops+1, which sizes the backing array exactly before the
+	// fill pass; fault-aware detours can be longer, so that total is only
+	// a best-effort capacity hint there.
 	s.routeOff = make([]int32, n*n+1)
 	total := 0
 	for a := 0; a < n; a++ {
@@ -399,19 +428,45 @@ func NewSimulator(mesh *topology.Mesh, cfg noc.Config, g *model.CDCG) (*Simulato
 		}
 	}
 	s.routeData = make([]topology.TileID, 0, total)
-	for a := 0; a < n; a++ {
-		for b := 0; b < n; b++ {
-			r, err := mesh.Route(cfg.Routing, topology.TileID(a), topology.TileID(b))
-			if err != nil {
-				return nil, err
+	if fs.Empty() {
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				r, err := mesh.Route(cfg.Routing, topology.TileID(a), topology.TileID(b))
+				if err != nil {
+					return nil, err
+				}
+				s.routeData = append(s.routeData, r.Tiles...)
+				s.routeOff[a*n+b+1] = int32(len(s.routeData))
 			}
-			s.routeData = append(s.routeData, r.Tiles...)
-			s.routeOff[a*n+b+1] = int32(len(s.routeData))
+		}
+	} else {
+		if fs.Mesh() != mesh {
+			return nil, errors.New("wormhole: fault set belongs to a different mesh")
+		}
+		s.faults = fs
+		s.unreach = make([]bool, n*n)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				r, err := mesh.RouteFault(cfg.Routing, fs, topology.TileID(a), topology.TileID(b))
+				switch {
+				case errors.Is(err, topology.ErrUnreachable):
+					s.unreach[a*n+b] = true
+				case err != nil:
+					return nil, err
+				default:
+					s.routeData = append(s.routeData, r.Tiles...)
+				}
+				s.routeOff[a*n+b+1] = int32(len(s.routeData))
+			}
 		}
 	}
 	s.initOnce = true
 	return s, nil
 }
+
+// Faults returns the fault set the simulator's route table was built
+// against, nil for an intact simulator.
+func (s *Simulator) Faults() *topology.FaultSet { return s.faults }
 
 // NewScratch allocates a fresh per-lane scratch sized for this simulator.
 // Panics on a zero-value Simulator; construct with NewSimulator.
@@ -553,6 +608,13 @@ func (s *Simulator) run(sc *Scratch, res *Result, mp mapping.Mapping, record boo
 		nFlits := s.flits[p]
 		srcTile, dstTile := mp[pkt.Src], mp[pkt.Dst]
 		ri := int(srcTile)*n + int(dstTile)
+		if s.unreach != nil && s.unreach[ri] {
+			// The mapping routes this packet across a faulted partition.
+			// The sentinel is static so the noalloc hot path stays clean;
+			// resilience scoring catches it and applies the documented
+			// penalty instead of treating it as a failure.
+			return ErrUnreachable
+		}
 		tiles := s.routeData[s.routeOff[ri]:s.routeOff[ri+1]]
 
 		linkHold := nFlits * tl
