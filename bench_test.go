@@ -23,6 +23,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/model"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -231,6 +232,57 @@ func BenchmarkEvaluatorCDCM(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkInstrumentedEval prices the observability layer's hot-path
+// instrumentation: the same large-instance CWM/CDCM evaluations as
+// above, bare versus with the evaluation counter attached (what every
+// nocd job wires through core.Options.EvalCounter — one atomic add per
+// evaluation). The instrumented paths must stay allocation-free, and
+// the budget for the counted-over-bare slowdown is two percent; CI
+// uploads this benchmark as its own artifact to track that margin.
+func BenchmarkInstrumentedEval(b *testing.B) {
+	mesh, cfg, g := largeInstance(b)
+	runCWM := func(b *testing.B, evals *obs.Counter) {
+		cwm, err := core.NewCWM(mesh, cfg, energy.Tech007, g.ToCWG())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cwm.Evals = evals
+		mp := mapping.Identity(g.NumCores())
+		if _, err := cwm.Cost(mp); err != nil { // warm route cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cwm.Cost(mp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	runCDCM := func(b *testing.B, evals *obs.Counter) {
+		cdcm, err := core.NewCDCM(mesh, cfg, energy.Tech007, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cdcm.Evals = evals
+		mp := mapping.Identity(g.NumCores())
+		if _, err := cdcm.Cost(mp); err != nil { // warm the scratch
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cdcm.Cost(mp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("CWMBare", func(b *testing.B) { runCWM(b, nil) })
+	b.Run("CWMCounted", func(b *testing.B) { runCWM(b, new(obs.Counter)) })
+	b.Run("CDCMBare", func(b *testing.B) { runCDCM(b, nil) })
+	b.Run("CDCMCounted", func(b *testing.B) { runCDCM(b, new(obs.Counter)) })
 }
 
 // BenchmarkEvaluatorCDCMParallel measures concurrent CDCM evaluation of

@@ -9,7 +9,13 @@
 //	curl localhost:8080/v1/jobs/j-000001/events     # SSE progress stream
 //	curl -XDELETE localhost:8080/v1/jobs/j-000001   # cancel
 //	curl localhost:8080/healthz
-//	curl localhost:8080/metrics
+//	curl localhost:8080/metrics                     # Prometheus text exposition
+//	curl localhost:8080/metrics?format=json         # legacy JSON counters
+//
+// Every request carries an X-Request-ID (client-supplied or minted) that
+// is echoed on the response, stamped on the job's status and SSE events,
+// and attached to every structured log line; -log-level and -log-format
+// tune the slog output on stderr.
 //
 // On SIGTERM/SIGINT the daemon drains: submissions are refused, queued
 // and running jobs finish (up to -drain-timeout, then they are canceled),
@@ -29,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/service"
 )
@@ -41,11 +48,13 @@ func main() {
 		cacheSize = flag.Int("cache", 256, "result-cache entries (LRU, keyed by canonical instance hash)")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are canceled")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+		logLevel  = flag.String("log-level", "info", "structured-log level: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "structured-log format: text or json")
 	)
 	flag.Parse()
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	if err := run(*addr, *pprofAddr, *workers, *queue, *cacheSize, *drain, stop, os.Stderr, nil); err != nil {
+	if err := run(*addr, *pprofAddr, *logLevel, *logFormat, *workers, *queue, *cacheSize, *drain, stop, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "nocd:", err)
 		os.Exit(1)
 	}
@@ -57,10 +66,15 @@ func main() {
 // free port with addr "127.0.0.1:0"). A non-empty pprofAddr serves the
 // net/http/pprof handlers on a second, separate listener, so profiling
 // stays off the API port (and off by default).
-func run(addr, pprofAddr string, workers, queue, cacheSize int, drainTimeout time.Duration,
+func run(addr, pprofAddr, logLevel, logFormat string, workers, queue, cacheSize int, drainTimeout time.Duration,
 	stop <-chan os.Signal, logw io.Writer, ready chan<- string) error {
 
-	svc := service.New(service.Config{Workers: workers, QueueSize: queue, CacheSize: cacheSize})
+	logger, err := obs.NewLogger(logw, logLevel, logFormat)
+	if err != nil {
+		return err
+	}
+	svc := service.New(service.Config{Workers: workers, QueueSize: queue, CacheSize: cacheSize,
+		Logger: logger})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

@@ -24,7 +24,7 @@ func startDaemon(t *testing.T) (url string, stop chan os.Signal, exited chan err
 	ready := make(chan string, 1)
 	exited = make(chan error, 1)
 	go func() {
-		exited <- run("127.0.0.1:0", "", 2, 16, 32, 30*time.Second, stop, io.Discard, ready)
+		exited <- run("127.0.0.1:0", "", "info", "text", 2, 16, 32, 30*time.Second, stop, io.Discard, ready)
 	}()
 	select {
 	case addr := <-ready:
@@ -106,14 +106,14 @@ func TestDaemonEndToEndAndSIGTERMDrain(t *testing.T) {
 
 func TestDaemonRejectsBadListenAddr(t *testing.T) {
 	stop := make(chan os.Signal, 1)
-	if err := run("256.256.256.256:1", "", 1, 1, 1, time.Second, stop, io.Discard, nil); err == nil {
+	if err := run("256.256.256.256:1", "", "info", "text", 1, 1, 1, time.Second, stop, io.Discard, nil); err == nil {
 		t.Fatal("invalid listen address accepted")
 	}
 }
 
 func TestDaemonRejectsBadPprofAddr(t *testing.T) {
 	stop := make(chan os.Signal, 1)
-	if err := run("127.0.0.1:0", "256.256.256.256:1", 1, 1, 1, time.Second, stop, io.Discard, nil); err == nil {
+	if err := run("127.0.0.1:0", "256.256.256.256:1", "info", "text", 1, 1, 1, time.Second, stop, io.Discard, nil); err == nil {
 		t.Fatal("invalid pprof address accepted")
 	}
 }
@@ -146,7 +146,7 @@ func TestDaemonServesPprof(t *testing.T) {
 	exited := make(chan error, 1)
 	var logw lockedBuf
 	go func() {
-		exited <- run("127.0.0.1:0", "127.0.0.1:0", 1, 4, 8, 30*time.Second, stop, &logw, ready)
+		exited <- run("127.0.0.1:0", "127.0.0.1:0", "warn", "text", 1, 4, 8, 30*time.Second, stop, &logw, ready)
 	}()
 	select {
 	case <-ready:
@@ -174,7 +174,23 @@ func TestDaemonServesPprof(t *testing.T) {
 
 func TestDaemonServesMetrics(t *testing.T) {
 	url, stop, exited := startDaemon(t)
+
+	// Default: Prometheus text exposition.
 	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prometheus content-type = %q", ct)
+	}
+	if !strings.Contains(string(body), "# TYPE nocd_jobs_submitted_total counter") {
+		t.Errorf("prometheus exposition missing nocd_jobs_submitted_total:\n%s", body)
+	}
+
+	// Legacy JSON counters stay on ?format=json.
+	resp, err = http.Get(url + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,5 +205,15 @@ func TestDaemonServesMetrics(t *testing.T) {
 	stop <- syscall.SIGTERM
 	if err := <-exited; err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDaemonRejectsBadLogFlags(t *testing.T) {
+	stop := make(chan os.Signal, 1)
+	if err := run("127.0.0.1:0", "", "loud", "text", 1, 1, 1, time.Second, stop, io.Discard, nil); err == nil {
+		t.Fatal("invalid log level accepted")
+	}
+	if err := run("127.0.0.1:0", "", "info", "xml", 1, 1, 1, time.Second, stop, io.Discard, nil); err == nil {
+		t.Fatal("invalid log format accepted")
 	}
 }

@@ -195,7 +195,7 @@ func run(o options) error {
 	}
 
 	start := time.Now()
-	res, err := in.Explore(nil, nil)
+	res, err := in.Explore(nil, nil, nil, nil)
 	if err != nil {
 		return err
 	}

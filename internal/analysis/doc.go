@@ -38,8 +38,12 @@
 //     no make/new, no heap-escaping composite literals, no append to
 //     slices that are not rooted in a parameter or receiver (scratch
 //     backing), no closures, no fmt calls, no allocating string
-//     operations, no boxing conversions to interfaces — and every
-//     callee must itself be annotated //nocvet:noalloc. Branches that
+//     operations, no boxing conversions to interfaces, no map stores
+//     (an insert may grow the bucket array — hot-path telemetry belongs
+//     in atomics, not maps) — and every callee must itself be annotated
+//     //nocvet:noalloc, with the math and sync/atomic packages exempt
+//     (pure arithmetic and single-word atomic operations, the
+//     sanctioned hot-path instrumentation primitive). Branches that
 //     terminate in an error return or panic are exempt: they end the
 //     run, so a cold-path allocation there cannot perturb the steady
 //     state the testing.AllocsPerRun pins measure.

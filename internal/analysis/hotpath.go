@@ -19,10 +19,14 @@ import (
 //   - fmt calls and allocating string operations (concatenation,
 //     string<->[]byte/[]rune conversions);
 //   - conversions of concrete values to interface types (boxing);
+//   - stores into maps (m[k] = v, m[k]++): inserting may grow the
+//     bucket array, so hot-path counters belong in atomics or
+//     pre-sized slices, not maps;
 //   - calls to functions not themselves marked //nocvet:noalloc —
 //     the property propagates down the call tree by annotation, not
-//     whole-program analysis. Pure math builtins and the math package
-//     are exempt.
+//     whole-program analysis. Pure math builtins, the math package
+//     and sync/atomic (single-word operations, the idiomatic hot-path
+//     instrumentation primitive) are exempt.
 //
 // Branches that terminate in an error return or a panic are cold: they
 // end the run, so allocations there cannot perturb the steady state the
@@ -115,13 +119,36 @@ func checkNoalloc(pass *Pass, fd *ast.FuncDecl) {
 		if fn.Pkg() != nil && fn.Pkg().Path() == "math" {
 			return // pure arithmetic
 		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+			return // single-word atomic ops: lock-free, allocation-free
+		}
 		if !pass.Noalloc[FuncKey(fn)] {
 			report(call.Pos(), "calls %s which is not marked //nocvet:noalloc", FuncKey(fn))
 		}
 	}
 
+	// mapStore reports an assignment target that is a map index: the
+	// store may insert, and an insert may grow the bucket array.
+	mapStore := func(lhs ast.Expr) {
+		idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			return
+		}
+		if t := info.TypeOf(idx.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				report(lhs.Pos(), "map store may grow the map's buckets on the heap")
+			}
+		}
+	}
+
 	walk = func(n ast.Node) bool {
 		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				mapStore(lhs)
+			}
+		case *ast.IncDecStmt:
+			mapStore(x.X)
 		case *ast.IfStmt:
 			// Cold-branch exemption: a branch ending the run (error
 			// return / panic) may allocate. Walk Init/Cond, then skip

@@ -1,7 +1,10 @@
 // Package hotpath is the //nocvet:noalloc fixture.
 package hotpath
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 type scratch struct {
 	buf []int
@@ -95,4 +98,31 @@ func itoa(i int) string {
 		return "0"
 	}
 	return "n"
+}
+
+// goodAtomicCounter instruments the hot loop with a lock-free atomic —
+// the sanctioned telemetry primitive, exempt like the math package.
+//
+//nocvet:noalloc
+func goodAtomicCounter(sc *scratch, evals *atomic.Int64) int {
+	sum := 0
+	for _, v := range sc.buf {
+		evals.Add(1)
+		sum += v
+	}
+	return sum
+}
+
+// badMapCounter tallies into a map on the steady path: each store may
+// insert, and an insert may grow the bucket array.
+//
+//nocvet:noalloc
+func badMapCounter(sc *scratch, byBucket map[string]int) int {
+	sum := 0
+	for _, v := range sc.buf {
+		byBucket["evals"]++ // want `map store may grow the map's buckets on the heap`
+		sum += v
+	}
+	byBucket["sum"] = sum // want `map store may grow the map's buckets on the heap`
+	return sum
 }

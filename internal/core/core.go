@@ -24,6 +24,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/model"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/wormhole"
 )
@@ -39,6 +40,12 @@ type CWM struct {
 	Cfg  noc.Config
 	Tech energy.Tech
 	G    *model.CWG
+
+	// Evals, when non-nil, is incremented once per pricing — full Cost
+	// calls and incremental SwapDelta probes alike. It is telemetry
+	// only (an atomic add on the hot path, no allocation) and never
+	// feeds back into a cost.
+	Evals *obs.Counter
 
 	kCache   []int16 // routers per (srcTile, dstTile) pair, lazily filled
 	numTiles int     // cached Mesh.NumTiles(), the kCache stride
@@ -168,6 +175,9 @@ func (c *CWM) Cost(mp mapping.Mapping) (float64, error) {
 	if len(mp) != c.G.NumCores() {
 		return 0, fmt.Errorf("core: mapping covers %d cores, CWG has %d", len(mp), c.G.NumCores())
 	}
+	if c.Evals != nil {
+		c.Evals.Inc()
+	}
 	var rb, vb int64
 	for _, e := range c.G.Edges {
 		k, err := c.routers(mp[e.Src], mp[e.Dst])
@@ -250,6 +260,12 @@ func (m Metrics) Total() float64 { return m.Energy.Total() }
 type CDCM struct {
 	Tech energy.Tech
 
+	// Evals, when non-nil, is incremented once per simulation run
+	// (EvaluateWith, and therefore Cost/Evaluate/ComponentsInto).
+	// Telemetry only; shared by clones so parallel lanes fold into one
+	// total.
+	Evals *obs.Counter
+
 	sim *wormhole.Simulator
 	sc  *wormhole.Scratch
 }
@@ -271,7 +287,7 @@ func NewCDCM(mesh *topology.Mesh, cfg noc.Config, tech energy.Tech, g *model.CDC
 // no re-validation and no route recomputation. Clones may run
 // concurrently with each other and with the original.
 func (c *CDCM) Clone() *CDCM {
-	return &CDCM{Tech: c.Tech, sim: c.sim, sc: c.sim.NewScratch()}
+	return &CDCM{Tech: c.Tech, Evals: c.Evals, sim: c.sim, sc: c.sim.NewScratch()}
 }
 
 // Simulator exposes the underlying wormhole simulator (e.g. to flip
@@ -289,6 +305,9 @@ func (c *CDCM) Evaluate(mp mapping.Mapping) (Metrics, error) {
 // (allocation-free in steady state); Metrics copies everything out, so
 // nothing retains the scratch.
 func (c *CDCM) EvaluateWith(mp mapping.Mapping, tech energy.Tech) (Metrics, error) {
+	if c.Evals != nil {
+		c.Evals.Inc()
+	}
 	res, err := c.sim.RunScratch(mp, c.sc)
 	if err != nil {
 		return Metrics{}, err

@@ -121,6 +121,9 @@ func (c *CWM) SwapDelta(occ []model.CoreID, ta, tb topology.TileID) (float64, er
 	if c.bound == nil {
 		return 0, errors.New("core: SwapDelta before Reset")
 	}
+	if c.Evals != nil {
+		c.Evals.Inc()
+	}
 	ca, cb := occ[ta], occ[tb]
 	var dR, dV int64
 	bound := c.bound

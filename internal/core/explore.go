@@ -8,6 +8,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/model"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/search"
 	"repro/internal/topology"
@@ -164,6 +165,18 @@ type Options struct {
 	// snapshots. The parallel engines invoke it concurrently from their
 	// worker lanes; see search.ProgressFunc for the contract.
 	OnProgress search.ProgressFunc
+	// OnPhase, when non-nil, is invoked from Explore's own goroutine at
+	// the start of each exploration phase — "build" (evaluator
+	// construction), "search" (engine run), "price" (winner pricing on
+	// the CDCM simulator). Observational only: the calls never feed back
+	// into the walk, so attaching one is bit-identical to not.
+	OnPhase func(phase string)
+	// EvalCounter, when non-nil, is incremented once per objective
+	// pricing by the instrumented evaluators — CWM full costs and
+	// incremental swap probes, CDCM simulations — across every worker
+	// lane. The concrete counter type keeps the hot paths
+	// allocation-free (one atomic add, no interface boxing).
+	EvalCounter *obs.Counter
 }
 
 // ExploreResult is the outcome of one exploration.
@@ -204,6 +217,13 @@ func GreedyInitial(mesh *topology.Mesh, g *model.CDCG) (mapping.Mapping, error) 
 func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy.Tech,
 	g *model.CDCG, opts Options) (*ExploreResult, error) {
 
+	phase := func(name string) {
+		if opts.OnPhase != nil {
+			opts.OnPhase(name)
+		}
+	}
+	phase("build")
+
 	// The evaluators are stateful (CWM route cache + delta binding, CDCM
 	// scratch), so the parallel engines receive a factory and build one
 	// per worker lane; the serial engines call it once. For CDCM the
@@ -216,7 +236,14 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 	var resBase *Resilience
 	switch strategy {
 	case StrategyCWM:
-		newObjective = func() (search.Objective, error) { return NewCWM(mesh, cfg, tech, g.ToCWG()) }
+		newObjective = func() (search.Objective, error) {
+			cwm, err := NewCWM(mesh, cfg, tech, g.ToCWG())
+			if err != nil {
+				return nil, err
+			}
+			cwm.Evals = opts.EvalCounter
+			return cwm, nil
+		}
 	case StrategyCDCM, StrategyPareto, StrategyResilience:
 		var err error
 		// A non-empty fault set turns the resilience objective on:
@@ -232,11 +259,16 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 				return nil, err
 			}
 			cdcmBase = resBase.Intact()
+			// Instrumenting the intact CDCM counts one increment per
+			// resilience evaluation (clones share the counter); the
+			// per-fault degraded runs ride along uncounted.
+			cdcmBase.Evals = opts.EvalCounter
 			newObjective = func() (search.Objective, error) { return resBase.Clone(), nil }
 		default:
 			if cdcmBase, err = NewCDCM(mesh, cfg, tech, g); err != nil {
 				return nil, err
 			}
+			cdcmBase.Evals = opts.EvalCounter
 			newObjective = func() (search.Objective, error) { return cdcmBase.Clone(), nil }
 		}
 	default:
@@ -264,6 +296,7 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 			return nil, err
 		}
 		prob.Obj = base
+		phase("search")
 		front, err := (&search.ParetoSA{
 			Problem:      prob,
 			Seed:         opts.Seed,
@@ -286,6 +319,7 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 		if !ok {
 			return nil, fmt.Errorf("core: pareto exploration returned an empty front")
 		}
+		phase("price")
 		metrics, err := cdcmBase.Evaluate(best.Mapping)
 		if err != nil {
 			return nil, err
@@ -313,6 +347,7 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 		res *search.Result
 		err error
 	)
+	phase("search")
 	switch opts.Method {
 	case MethodSA:
 		res, err = (&search.MultiAnnealer{
@@ -377,6 +412,7 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 	// Price the winner with the CDCM simulator. A CDCM-driven run already
 	// built the shared simulator core; reuse it instead of recomputing
 	// the route tables.
+	phase("price")
 	pricer := cdcmBase
 	if pricer == nil {
 		if pricer, err = NewCDCM(mesh, cfg, tech, g); err != nil {

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/mapping"
+	"repro/internal/noc"
+	"repro/internal/obs"
+	"repro/internal/topology"
+)
+
+// TestInstrumentedCWMZeroAlloc pins that attaching the telemetry counter
+// keeps the warm CWM hot path allocation-free: the instrumented
+// SwapDelta/Commit loop must match the bare loop's 0 allocs/op.
+func TestInstrumentedCWMZeroAlloc(t *testing.T) {
+	mesh, g := deltaInstance(t, 4, 4, 10)
+	cwm := newTestCWM(t, mesh, g)
+	var evals obs.Counter
+	cwm.Evals = &evals
+	mp := mapping.Identity(g.NumCores())
+	occ := mp.Occupants(mesh.NumTiles())
+	if _, err := cwm.Reset(mp); err != nil {
+		t.Fatal(err)
+	}
+	n := topology.TileID(mesh.NumTiles())
+	for src := topology.TileID(0); src < n; src++ {
+		for dst := topology.TileID(0); dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			if _, err := cwm.routers(src, dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var a, b topology.TileID = 0, 1
+	allocs := testing.AllocsPerRun(64, func() {
+		if _, err := cwm.SwapDelta(occ, a, b); err != nil {
+			t.Fatal(err)
+		}
+		cwm.Commit(a, b)
+		occ[a], occ[b] = occ[b], occ[a]
+		a = (a + 1) % n
+		b = (b + 3) % n
+		if a == b {
+			b = (b + 1) % n
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented SwapDelta+Commit allocates %.1f objects/run, want 0", allocs)
+	}
+	if evals.Value() == 0 {
+		t.Fatal("instrumented run recorded no evaluations")
+	}
+}
+
+// TestInstrumentedCDCMZeroAllocSteadyState pins the CDCM analogue: the
+// counted simulation path stays allocation-free once the scratch is
+// warm.
+func TestInstrumentedCDCMZeroAllocSteadyState(t *testing.T) {
+	mesh, g := deltaInstance(t, 3, 3, 6)
+	cdcm, err := NewCDCM(mesh, noc.Default(), energy.Tech007, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evals obs.Counter
+	cdcm.Evals = &evals
+	mp := mapping.Identity(g.NumCores())
+	if _, err := cdcm.Evaluate(mp); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(32, func() {
+		if _, err := cdcm.Evaluate(mp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented CDCM.Evaluate allocates %.1f objects/run, want 0", allocs)
+	}
+	if evals.Value() < 33 {
+		t.Fatalf("eval counter = %d, want at least 33", evals.Value())
+	}
+}
+
+// TestExploreOnPhaseOrderAndEvalCounter pins the phase seam — every
+// strategy announces build, search, price in that order from Explore's
+// goroutine — and that the evaluation counter matches the engine's own
+// count for the single-lane engines.
+func TestExploreOnPhaseOrderAndEvalCounter(t *testing.T) {
+	mesh, g := deltaInstance(t, 3, 3, 6)
+	for _, strategy := range []Strategy{StrategyCWM, StrategyCDCM, StrategyPareto} {
+		var phases []string
+		var evals obs.Counter
+		opts := Options{
+			Method:       MethodSA,
+			Seed:         7,
+			TempSteps:    6,
+			MovesPerTemp: 4,
+			OnPhase:      func(name string) { phases = append(phases, name) },
+			EvalCounter:  &evals,
+		}
+		if strategy == StrategyPareto {
+			opts.TempSteps, opts.MovesPerTemp, opts.Restarts = 5, 4, 2
+		}
+		res, err := Explore(strategy, mesh, noc.Default(), energy.Tech007, g, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if want := []string{"build", "search", "price"}; !reflect.DeepEqual(phases, want) {
+			t.Errorf("%s: phases = %v, want %v", strategy, phases, want)
+		}
+		if evals.Value() == 0 {
+			t.Errorf("%s: eval counter stayed 0", strategy)
+		}
+		// CDCM counts one increment per simulation: every engine
+		// evaluation plus the final winner pricing.
+		if strategy == StrategyCDCM {
+			if got, want := evals.Value(), res.Search.Evaluations+1; got != want {
+				t.Errorf("CDCM eval counter = %d, want %d", got, want)
+			}
+		}
+	}
+}
+
+// TestExploreInstrumentationIsObservational pins that attaching
+// OnPhase and EvalCounter changes nothing about the result.
+func TestExploreInstrumentationIsObservational(t *testing.T) {
+	mesh, g := deltaInstance(t, 3, 3, 6)
+	opts := Options{Method: MethodSA, Seed: 3, TempSteps: 8, MovesPerTemp: 4}
+	bare, err := Explore(StrategyCWM, mesh, noc.Default(), energy.Tech007, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evals obs.Counter
+	opts.OnPhase = func(string) {}
+	opts.EvalCounter = &evals
+	instrumented, err := Explore(StrategyCWM, mesh, noc.Default(), energy.Tech007, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Search.BestCost != instrumented.Search.BestCost ||
+		bare.Search.Evaluations != instrumented.Search.Evaluations ||
+		!mapping.Equal(bare.Best, instrumented.Best) {
+		t.Fatalf("instrumentation changed the exploration:\nbare %+v\ninst %+v",
+			bare.Search, instrumented.Search)
+	}
+}

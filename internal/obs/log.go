@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RequestIDHeader is the header request IDs arrive on and are echoed
+// back on.
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds accepted client-supplied request IDs so a
+// hostile header cannot bloat logs and job records.
+const maxRequestIDLen = 128
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// NewRequestID draws a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; if it somehow
+		// does, a constant ID is still a valid (if useless) ID.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewLogger builds a slog.Logger writing to w. level is one of
+// "debug", "info", "warn", "error"; format is "text" or "json".
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+}
+
+// NopLogger returns a logger that discards everything — the nil-config
+// default of layers that log unconditionally.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// HTTPOptions configures WrapHTTP.
+type HTTPOptions struct {
+	// Logger receives one access-log line per request (nil = no access
+	// logs).
+	Logger *slog.Logger
+	// Now is the clock access-log durations are measured on (nil =
+	// time.Now). The service layer passes its Config.Now seam here so
+	// fake-clocked tests see deterministic durations.
+	Now func() time.Time
+	// GenID mints request IDs for requests that arrive without an
+	// X-Request-ID header (nil = NewRequestID). Tests inject a
+	// deterministic generator.
+	GenID func() string
+	// Requests, when non-nil, counts completed requests by status code.
+	Requests *CounterVec
+}
+
+// statusWriter records the response status and size, forwarding Flush
+// to the underlying writer when it supports it so SSE streams keep
+// flushing through the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// WrapHTTP wraps an http.Handler with the observability middleware:
+// it accepts an X-Request-ID header (or mints one), stores the ID in
+// the request context, echoes it on the response, counts the request
+// by status code, and emits one structured access-log line with
+// method, path, status, response size, duration and request ID.
+func WrapHTTP(next http.Handler, o HTTPOptions) http.Handler {
+	now := o.Now
+	if now == nil {
+		now = time.Now
+	}
+	genID := o.GenID
+	if genID == nil {
+		genID = NewRequestID
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get(RequestIDHeader)
+		if rid == "" || len(rid) > maxRequestIDLen {
+			rid = genID()
+		}
+		w.Header().Set(RequestIDHeader, rid)
+		r = r.WithContext(WithRequestID(r.Context(), rid))
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if o.Requests != nil {
+			o.Requests.With(strconv.Itoa(sw.status)).Inc()
+		}
+		if o.Logger != nil {
+			o.Logger.LogAttrs(r.Context(), slog.LevelInfo, "http request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Float64("duration_ms", float64(now().Sub(start).Nanoseconds())/1e6),
+				slog.String("request_id", rid),
+			)
+		}
+	})
+}

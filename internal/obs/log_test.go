@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewLoggerLevelsAndFormats(t *testing.T) {
+	var b bytes.Buffer
+	lg, err := NewLogger(&b, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept")
+	if s := b.String(); strings.Contains(s, "dropped") || !strings.Contains(s, "kept") {
+		t.Fatalf("warn-level filtering broken:\n%s", s)
+	}
+
+	b.Reset()
+	lg, err = NewLogger(&b, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello", "k", 1)
+	var line map[string]any
+	if err := json.Unmarshal(b.Bytes(), &line); err != nil {
+		t.Fatalf("json log line: %v\n%s", err, b.String())
+	}
+	if line["msg"] != "hello" || line["k"] != float64(1) {
+		t.Fatalf("json fields: %v", line)
+	}
+
+	if _, err := NewLogger(&b, "loud", "text"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&b, "info", "xml"); err == nil {
+		t.Error("bad format accepted")
+	}
+	// Empty strings select the defaults.
+	if _, err := NewLogger(&b, "", ""); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Fatalf("RequestID = %q", got)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Fatalf("empty context RequestID = %q", got)
+	}
+	id := NewRequestID()
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(id) {
+		t.Fatalf("NewRequestID = %q, want 16 hex chars", id)
+	}
+	if NewRequestID() == id {
+		t.Fatal("two generated request IDs collided")
+	}
+}
+
+func TestWrapHTTPRequestID(t *testing.T) {
+	var seen string
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+		w.WriteHeader(http.StatusTeapot)
+	})
+	h := WrapHTTP(inner, HTTPOptions{GenID: func() string { return "generated1" }})
+
+	// Supplied ID is kept, stored in context, echoed on the response.
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(RequestIDHeader, "client-id-7")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "client-id-7" {
+		t.Fatalf("context request ID = %q, want client-id-7", seen)
+	}
+	if got := rec.Header().Get(RequestIDHeader); got != "client-id-7" {
+		t.Fatalf("echoed header = %q", got)
+	}
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status = %d", rec.Code)
+	}
+
+	// Missing ID: one is minted.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if seen != "generated1" || rec.Header().Get(RequestIDHeader) != "generated1" {
+		t.Fatalf("generated ID not used: ctx=%q header=%q", seen, rec.Header().Get(RequestIDHeader))
+	}
+
+	// Oversized IDs are replaced, not stored.
+	req = httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(RequestIDHeader, strings.Repeat("a", 500))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "generated1" {
+		t.Fatalf("oversized ID kept: %q", seen)
+	}
+}
+
+// TestWrapHTTPAccessLog pins the access-log field schema with an
+// injected step clock: method, path, status, bytes, duration_ms,
+// request_id.
+func TestWrapHTTPAccessLog(t *testing.T) {
+	var b bytes.Buffer
+	lg := slog.New(slog.NewJSONHandler(&b, nil))
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	calls := 0
+	now := func() time.Time {
+		calls++
+		return base.Add(time.Duration(calls) * 250 * time.Millisecond)
+	}
+	reg := NewRegistry()
+	requests := reg.CounterVec("test_http_requests_total", "", "code")
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte("nope"))
+	})
+	h := WrapHTTP(inner, HTTPOptions{Logger: lg, Now: now, GenID: func() string { return "rid1" }, Requests: requests})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/j-1", nil))
+
+	var line map[string]any
+	if err := json.Unmarshal(b.Bytes(), &line); err != nil {
+		t.Fatalf("access log not JSON: %v\n%s", err, b.String())
+	}
+	want := map[string]any{
+		"msg":        "http request",
+		"method":     "GET",
+		"path":       "/v1/jobs/j-1",
+		"status":     float64(404),
+		"bytes":      float64(4),
+		"request_id": "rid1",
+		// Two now() calls, 250ms apart on the step clock.
+		"duration_ms": float64(250),
+	}
+	for k, v := range want {
+		if line[k] != v {
+			t.Errorf("access log %s = %v, want %v", k, line[k], v)
+		}
+	}
+	if got := requests.With("404").Value(); got != 1 {
+		t.Errorf("request counter 404 = %d, want 1", got)
+	}
+}
+
+// flushRecorder tracks whether Flush reached the underlying writer.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushed bool
+}
+
+func (f *flushRecorder) Flush() { f.flushed = true }
+
+func TestStatusWriterFlushPassthrough(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("middleware writer lost http.Flusher")
+		}
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+	})
+	h := WrapHTTP(inner, HTTPOptions{})
+	rec := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/events", nil))
+	if !rec.flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+}

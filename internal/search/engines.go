@@ -59,7 +59,9 @@ func (e *Exhaustive) Run() (*Result, error) {
 			}
 			res.Evaluations++
 			if e.OnProgress != nil && res.Evaluations%4096 == 0 {
-				e.OnProgress(Progress{Engine: "ES", Evaluations: res.Evaluations, BestCost: res.BestCost})
+				e.OnProgress(Progress{Engine: "ES", Evaluations: res.Evaluations,
+					Accepted: res.Improvements, Rejected: res.Evaluations - res.Improvements,
+					BestCost: res.BestCost})
 			}
 			if res.Evaluations == 1 {
 				res.InitialCost = c
@@ -134,7 +136,9 @@ func (r *RandomSearch) Run() (*Result, error) {
 		}
 		if r.OnProgress != nil && (i+1)%256 == 0 {
 			r.OnProgress(Progress{Engine: "random", Step: i + 1, Steps: samples,
-				Evaluations: res.Evaluations, BestCost: res.BestCost})
+				Evaluations: res.Evaluations,
+				Accepted:    res.Improvements, Rejected: res.Evaluations - res.Improvements,
+				BestCost: res.BestCost})
 		}
 	}
 	return res, nil
@@ -176,6 +180,10 @@ func (h *HillClimber) Run() (*Result, error) {
 	numTiles := h.Problem.Mesh.NumTiles()
 	res := &Result{BestCost: math.Inf(1)}
 	var useDeltaAny bool
+	// Telemetry counters across all restarts: each steepest-descent scan
+	// accepts at most one neighbour (the applied move) and rejects the
+	// rest. Never read by the search itself.
+	var accepted, rejected int64
 	for r := 0; r < restarts; r++ {
 		var cur mapping.Mapping
 		if r == 0 && h.Initial != nil {
@@ -207,6 +215,7 @@ func (h *HillClimber) Run() (*Result, error) {
 		for {
 			bestD := 0.0
 			bestC := 0.0
+			var scanned int64
 			bestA, bestB := topology.TileID(-1), topology.TileID(-1)
 			for a := 0; a < numTiles; a++ {
 				for b := a + 1; b < numTiles; b++ {
@@ -233,6 +242,7 @@ func (h *HillClimber) Run() (*Result, error) {
 						return nil, err
 					}
 					res.Evaluations++
+					scanned++
 					if d < bestD {
 						bestD = d
 						bestC = c
@@ -241,8 +251,11 @@ func (h *HillClimber) Run() (*Result, error) {
 				}
 			}
 			if bestA < 0 {
+				rejected += scanned
 				break // local optimum
 			}
+			accepted++
+			rejected += scanned - 1
 			mapping.SwapTiles(cur, occ, bestA, bestB)
 			// Record an exactly recomputed cost rather than accumulating
 			// cost += bestD: repeated accumulation drifts away from the
@@ -259,7 +272,8 @@ func (h *HillClimber) Run() (*Result, error) {
 					b = cost
 				}
 				h.OnProgress(Progress{Engine: "hill", Step: r + 1, Steps: restarts,
-					Evaluations: res.Evaluations, BestCost: b})
+					Evaluations: res.Evaluations, Accepted: accepted, Rejected: rejected,
+					BestCost: b})
 			}
 		}
 		if cost < res.BestCost {
@@ -318,6 +332,10 @@ func (t *Tabu) Run() (*Result, error) {
 	res := &Result{InitialCost: cost, BestCost: cost, Best: cur.Clone(), Evaluations: 1}
 
 	tabuUntil := make(map[[2]topology.TileID]int, numTiles)
+	// Telemetry counters: one applied (accepted) move per iteration, the
+	// rest of the scanned neighbourhood rejected. Never read by the
+	// search itself.
+	var accepted, rejected int64
 	for it := 0; it < iters; it++ {
 		// All neighbour comparisons run in the delta domain: the delta
 		// path's SwapDelta and the full path's c − cost are bit-identical
@@ -328,6 +346,7 @@ func (t *Tabu) Run() (*Result, error) {
 		// constant.
 		bestD := math.Inf(1)
 		var bestC float64
+		var scanned int64
 		aspire := res.BestCost - cost
 		bestA, bestB := topology.TileID(-1), topology.TileID(-1)
 		for a := 0; a < numTiles; a++ {
@@ -355,6 +374,7 @@ func (t *Tabu) Run() (*Result, error) {
 					return nil, err
 				}
 				res.Evaluations++
+				scanned++
 				if tabuUntil[[2]topology.TileID{ta, tb}] > it && d >= aspire {
 					continue // tabu and no aspiration
 				}
@@ -366,8 +386,11 @@ func (t *Tabu) Run() (*Result, error) {
 			}
 		}
 		if bestA < 0 {
+			rejected += scanned
 			break // every move tabu: rare on real instances
 		}
+		accepted++
+		rejected += scanned - 1
 		mapping.SwapTiles(cur, occ, bestA, bestB)
 		// As in the hill climber, the delta path adopts Commit's exact
 		// recompute instead of the accumulated cost + delta.
@@ -383,7 +406,8 @@ func (t *Tabu) Run() (*Result, error) {
 		}
 		if t.OnProgress != nil {
 			t.OnProgress(Progress{Engine: "tabu", Step: it + 1, Steps: iters,
-				Evaluations: res.Evaluations, BestCost: res.BestCost})
+				Evaluations: res.Evaluations, Accepted: accepted,
+				Rejected: rejected, BestCost: res.BestCost})
 		}
 	}
 	if useDelta {

@@ -224,7 +224,9 @@ func (s *ShardedExhaustive) Run() (*Result, error) {
 				}
 				if s.OnProgress != nil && res.Evaluations%4096 == 0 {
 					s.OnProgress(Progress{Engine: "ES", Restart: i,
-						Evaluations: res.Evaluations, BestCost: res.BestCost})
+						Evaluations: res.Evaluations, Accepted: res.Improvements,
+						Rejected:    res.Evaluations - res.Improvements,
+						BestCost:    res.BestCost})
 				}
 				if c < res.BestCost {
 					res.BestCost = c

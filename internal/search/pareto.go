@@ -331,6 +331,9 @@ func (e *ParetoSA) walk(i int, obj VectorObjective, k, frontSize int) (*paretoWa
 	}
 
 	stalled := 0
+	// Telemetry counters for the Metropolis walk; never read by the
+	// search itself (the calibration pass above counts as neither).
+	var accepted, rejected int64
 	for step := 0; step < steps; step++ {
 		if stalled >= stall {
 			break
@@ -350,6 +353,7 @@ func (e *ParetoSA) walk(i int, obj VectorObjective, k, frontSize int) (*paretoWa
 			res.evaluations++
 			d := c - cost
 			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+				accepted++
 				mapping.SwapTiles(cur, occ, ta, tb)
 				cost = c
 				if cost < bestScalar {
@@ -357,6 +361,8 @@ func (e *ParetoSA) walk(i int, obj VectorObjective, k, frontSize int) (*paretoWa
 					bestCollapse = Collapse(collapse, comps)
 					improvedThisStep = true
 				}
+			} else {
+				rejected++
 			}
 		}
 		if improvedThisStep {
@@ -367,7 +373,8 @@ func (e *ParetoSA) walk(i int, obj VectorObjective, k, frontSize int) (*paretoWa
 		temp *= alpha
 		if e.OnProgress != nil {
 			e.OnProgress(Progress{Engine: "pareto", Restart: i, Step: step + 1,
-				Steps: steps, Evaluations: res.evaluations, BestCost: bestCollapse})
+				Steps: steps, Evaluations: res.evaluations, Accepted: accepted,
+				Rejected: rejected, BestCost: bestCollapse})
 		}
 	}
 	return res, nil

@@ -21,6 +21,15 @@ type Progress struct {
 	// Evaluations counts objective calls so far in this run (for the
 	// parallel engines: in this restart/shard).
 	Evaluations int64
+	// Accepted / Rejected count the walk's move decisions so far. For
+	// the move-based engines (SA, hill, tabu, pareto) an accepted move
+	// is one applied to the walk state and a rejected one is a priced
+	// candidate that was not applied (SA's calibration probes count as
+	// neither). The enumerating engines (ES, random) have no move
+	// decision; they report incumbent improvements as Accepted and the
+	// remaining evaluations as Rejected, so acceptance-rate telemetry is
+	// meaningful for every engine.
+	Accepted, Rejected int64
 	// BestCost is the incumbent best objective value.
 	BestCost float64
 }

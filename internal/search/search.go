@@ -335,6 +335,10 @@ func (a *Annealer) Run() (*Result, error) {
 	stalled := 0
 	reheatsLeft := a.Reheats
 	baseTemp := temp
+	// Telemetry counters: updated on every move decision, emitted in
+	// Progress snapshots, never read by the walk itself — so counting
+	// cannot perturb the RNG stream or the incumbent.
+	var accepted, rejected int64
 	for step := 0; step < steps; step++ {
 		if stalled >= stall {
 			if reheatsLeft <= 0 {
@@ -381,12 +385,15 @@ func (a *Annealer) Run() (*Result, error) {
 			res.Evaluations++
 			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
 				accept(ta, tb, c)
+				accepted++
 				if cost < res.BestCost {
 					res.BestCost = cost
 					copy(res.Best, cur)
 					res.Improvements++
 					improvedThisStep = true
 				}
+			} else {
+				rejected++
 			}
 		}
 		if improvedThisStep {
@@ -397,7 +404,8 @@ func (a *Annealer) Run() (*Result, error) {
 		temp *= alpha
 		if a.OnProgress != nil {
 			a.OnProgress(Progress{Engine: "SA", Step: step + 1, Steps: steps,
-				Evaluations: res.Evaluations, BestCost: res.BestCost})
+				Evaluations: res.Evaluations, Accepted: accepted, Rejected: rejected,
+				BestCost: res.BestCost})
 		}
 	}
 	if useDelta {

@@ -1,0 +1,123 @@
+package search
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/mapping"
+)
+
+// streamKey identifies one snapshot stream: each (engine, restart) pair
+// is emitted sequentially from a single worker lane, so ordering
+// invariants hold per stream even for the parallel engines.
+type streamKey struct {
+	engine  string
+	restart int
+}
+
+// collectTelemetry runs every engine over the shared test problem plus
+// the pareto engine over the vector test problem, gathering all
+// snapshots grouped first by runner (each Run() is its own telemetry
+// universe) and then by stream.
+func collectTelemetry(t *testing.T) map[string]map[streamKey][]Progress {
+	t.Helper()
+	byRunner := map[string]map[streamKey][]Progress{}
+	collect := func(runner string) (ProgressFunc, *sync.Mutex) {
+		streams := map[streamKey][]Progress{}
+		byRunner[runner] = streams
+		var mu sync.Mutex
+		return func(pr Progress) {
+			mu.Lock()
+			k := streamKey{pr.Engine, pr.Restart}
+			streams[k] = append(streams[k], pr)
+			mu.Unlock()
+		}, &mu
+	}
+	// 9P6 placements: large enough that the exhaustive engines cross
+	// their 4096-evaluation emission stride several times.
+	p, _ := testProblem(t, 3, 3, 6)
+	for name := range engines(p, nil, nil) {
+		prog, _ := collect(name)
+		if _, err := engines(p, nil, prog)[name].Run(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	vp, _ := testVecProblem(t, 3, 3, 7)
+	pe := paretoEngine(vp)
+	prog, _ := collect("pareto")
+	pe.OnProgress = prog
+	if _, err := pe.Run(); err != nil {
+		t.Fatalf("pareto: %v", err)
+	}
+	return byRunner
+}
+
+// TestTelemetryCountersMonotonicAndBounded pins the accept/reject
+// accounting contract: within every stream the counters only grow, and
+// a walk never decides more moves than it priced.
+func TestTelemetryCountersMonotonicAndBounded(t *testing.T) {
+	byRunner := collectTelemetry(t)
+	engines := map[string]bool{}
+	for runner, streams := range byRunner {
+		for key, snaps := range streams {
+			engines[key.engine] = true
+			var prev Progress
+			for i, pr := range snaps {
+				if pr.Accepted < 0 || pr.Rejected < 0 {
+					t.Fatalf("%s %v snapshot %d: negative counter %+v", runner, key, i, pr)
+				}
+				if pr.Accepted+pr.Rejected > pr.Evaluations {
+					t.Fatalf("%s %v snapshot %d: accepted+rejected %d > evaluations %d",
+						runner, key, i, pr.Accepted+pr.Rejected, pr.Evaluations)
+				}
+				if i > 0 && (pr.Accepted < prev.Accepted || pr.Rejected < prev.Rejected ||
+					pr.Evaluations < prev.Evaluations) {
+					t.Fatalf("%s %v snapshot %d went backwards: %+v after %+v", runner, key, i, pr, prev)
+				}
+				prev = pr
+			}
+			last := snaps[len(snaps)-1]
+			if last.Accepted+last.Rejected == 0 {
+				t.Errorf("%s %v: no move decisions recorded in %d snapshots", runner, key, len(snaps))
+			}
+		}
+	}
+	for _, want := range []string{"SA", "ES", "random", "hill", "tabu", "pareto"} {
+		if !engines[want] {
+			t.Errorf("engine %s emitted no telemetry", want)
+		}
+	}
+}
+
+// TestTelemetryDeterministic pins that two identical runs produce
+// byte-identical snapshot streams: telemetry is part of the
+// deterministic surface, not a best-effort side channel.
+func TestTelemetryDeterministic(t *testing.T) {
+	first := collectTelemetry(t)
+	second := collectTelemetry(t)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("telemetry streams differ between identical runs")
+	}
+}
+
+// TestTelemetryCallbackDoesNotChangeResult pins the observational-only
+// contract: attaching a progress callback must not perturb the walk.
+func TestTelemetryCallbackDoesNotChangeResult(t *testing.T) {
+	p, _ := testProblem(t, 3, 2, 4)
+	sink := func(Progress) {}
+	for name := range engines(p, nil, nil) {
+		bare, err := engines(p, nil, nil)[name].Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		observed, err := engines(p, nil, sink)[name].Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if bare.BestCost != observed.BestCost || bare.Evaluations != observed.Evaluations ||
+			!mapping.Equal(bare.Best, observed.Best) {
+			t.Errorf("%s: callback changed the walk: %+v vs %+v", name, bare, observed)
+		}
+	}
+}

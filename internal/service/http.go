@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"repro/internal/obs"
 )
 
 // maxRequestBytes bounds a job submission body; CDCGs are small (the
@@ -20,7 +22,13 @@ const maxRequestBytes = 8 << 20
 //	                            searches stop at their next context poll
 //	GET    /v1/jobs/{id}/events server-sent events: progress + final done
 //	GET    /healthz             liveness
-//	GET    /metrics             expvar-style JSON counters
+//	GET    /metrics             Prometheus text exposition
+//	                            (?format=json keeps the legacy JSON counters)
+//
+// Every route runs behind the obs middleware: requests carry an
+// X-Request-ID (accepted from the client or minted), responses echo it,
+// access lines go to the structured log, and responses count into
+// nocd_http_requests_total by status code.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -32,7 +40,11 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return obs.WrapHTTP(mux, obs.HTTPOptions{
+		Logger:   s.log,
+		Now:      s.now,
+		Requests: s.httpRequests,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -61,7 +73,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	j, err := s.Submit(&req)
+	j, err := s.submit(&req, obs.RequestID(r.Context()))
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrBadRequest):
@@ -123,6 +135,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	sub := j.subscribe()
 	defer j.unsubscribe(sub)
+	s.sseSubs.Inc()
+	defer s.sseSubs.Dec()
 	writeEvent := func(ev Event) bool {
 		data, err := json.Marshal(ev)
 		if err != nil {
@@ -157,7 +171,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 			st := j.Status()
-			writeEvent(Event{Type: "done", Job: &st})
+			writeEvent(Event{Type: "done", RequestID: j.requestID, Job: &st})
 			return
 		case <-r.Context().Done():
 			return
@@ -165,9 +179,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleMetrics serves expvar-style JSON counters. Key order is fixed so
-// the endpoint is friendly to line-oriented scraping.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the metric registry as Prometheus text
+// exposition (version 0.0.4). The pre-Prometheus JSON counters stay
+// available at ?format=json with their historical fixed key order, so
+// line-oriented scrapers keep working.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		s.handleMetricsJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleMetricsJSON is the legacy expvar-style endpoint. Key order is
+// fixed so the endpoint is friendly to line-oriented scraping.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{
   "cache_entries": %d,

@@ -289,7 +289,7 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 	_, st := postJob(t, ts, `{"demo":true,"mesh":"2x2","model":"cwm"}`)
 	pollUntil(t, ts, st.ID, StateSucceeded)
 
-	resp, err = http.Get(ts.URL + "/metrics")
+	resp, err = http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

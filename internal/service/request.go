@@ -11,6 +11,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/model"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/topology"
 
@@ -305,13 +306,18 @@ func (in *Instance) Key() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// Explore runs the instance's search under ctx with optional progress
-// reporting and prices the winner — core.Explore with the instance's
-// resolved parameters.
-func (in *Instance) Explore(ctx context.Context, onProgress search.ProgressFunc) (*core.ExploreResult, error) {
+// Explore runs the instance's search under ctx with optional progress,
+// phase and evaluation-count reporting and prices the winner —
+// core.Explore with the instance's resolved parameters. All three
+// observability hooks may be nil; they are observational only, so the
+// result is bit-identical either way.
+func (in *Instance) Explore(ctx context.Context, onProgress search.ProgressFunc,
+	onPhase func(string), evals *obs.Counter) (*core.ExploreResult, error) {
 	opts := in.Opts
 	opts.Ctx = ctx
 	opts.OnProgress = onProgress
+	opts.OnPhase = onPhase
+	opts.EvalCounter = evals
 	return core.Explore(in.Strategy, in.Mesh, in.Cfg, in.Tech, in.G, opts)
 }
 

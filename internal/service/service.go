@@ -17,6 +17,16 @@
 // into every search engine; progress streams out of the same plumbing
 // via search.ProgressFunc into per-job event subscriptions.
 //
+// Observability rides internal/obs: a Prometheus-text metric registry
+// (Registry) over the server's atomic counters, engine-labeled search
+// telemetry folded from progress snapshots into each job's status
+// telemetry block, per-phase spans timed on the Config.Now clock seam,
+// structured slog lifecycle logs, and X-Request-ID propagation from the
+// HTTP middleware through job status, SSE events and every log line.
+// Telemetry is strictly observational — it lives in the status
+// envelope, never in the cache-keyed Result, so replayed results stay
+// byte-identical.
+//
 // Job computes inherit the evaluator fast paths of core.Explore: CWM
 // jobs price candidate swaps incrementally (search.DeltaObjective), and
 // CDCM jobs run the allocation-free wormhole scratch lanes — one shared
@@ -30,11 +40,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/search"
 )
@@ -63,15 +75,24 @@ type Config struct {
 	MaxJobs int
 	// Now is the server's time source (nil = time.Now). Every timestamp
 	// the service records — submission, start, finish, elapsed-time
-	// snapshots of running jobs — reads this clock, so tests inject a
-	// fake and observe deterministic wall-clock fields.
+	// snapshots of running jobs, phase spans, access-log durations —
+	// reads this clock, so tests inject a fake and observe deterministic
+	// wall-clock fields.
 	Now func() time.Time
+	// Logger receives the server's structured logs: HTTP access lines
+	// and job lifecycle events, each carrying the request ID. Nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 type metrics struct {
 	submitted, rejected             atomic.Int64
 	completed, failed, canceled     atomic.Int64
 	cacheHits, cacheMisses, compute atomic.Int64
+	// dedups counts submissions attached to an in-flight identical
+	// computation (a subset of cacheHits, which has always covered both
+	// cache and dedup hits).
+	dedups atomic.Int64
 }
 
 // Server is the mapping service: submit with Submit, look up with Job,
@@ -85,6 +106,22 @@ type Server struct {
 	baseCancel context.CancelFunc
 	maxJobs    int
 	now        func() time.Time
+	log        *slog.Logger
+
+	// Observability (see obs.go for the registry wiring). Everything
+	// here is updated with lock-free atomics only; code holding s.mu
+	// must never touch the registry or its vectors (the scrape path
+	// takes registry locks and then, in gauge closures, s.mu — so the
+	// reverse order would deadlock).
+	reg            *obs.Registry
+	httpRequests   *obs.CounterVec
+	jobDuration    *obs.HistogramVec
+	searchEvals    *obs.CounterVec
+	searchAccepted *obs.CounterVec
+	searchRejected *obs.CounterVec
+	searchRestarts *obs.CounterVec
+	sseSubs        *obs.Gauge
+	evals          *obs.Counter
 
 	mu       sync.Mutex
 	closed   bool
@@ -117,37 +154,66 @@ func New(cfg Config) *Server {
 	if now == nil {
 		now = time.Now
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		pool:       par.NewPool(workers, queue),
 		cache:      newLRU(cacheSize),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		maxJobs:    maxJobs,
 		now:        now,
+		log:        log,
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[string]*Job),
 	}
+	s.initObs()
+	return s
 }
 
 // Submit resolves, keys and enqueues one request. It returns the created
 // job, which is already terminal on a cache hit. Errors: ErrBadRequest
 // (invalid request), ErrQueueFull (backpressure), ErrShuttingDown.
 func (s *Server) Submit(req *Request) (*Job, error) {
+	return s.submit(req, "")
+}
+
+// submit is Submit with the originating request ID attached; the HTTP
+// layer passes the X-Request-ID it accepted or minted. Lifecycle logs
+// are emitted here, after s.mu is released.
+func (s *Server) submit(req *Request, requestID string) (*Job, error) {
 	in, err := req.Resolve()
 	if err != nil {
+		s.log.Warn("job rejected", "reason", "bad request", "error", err.Error(), "request_id", requestID)
 		return nil, err
 	}
 	key := in.Key()
 
+	j, outcome, err := s.enqueue(in, key, requestID)
+	if err != nil {
+		s.log.Warn("job rejected", "reason", outcome, "key", key, "request_id", requestID)
+		return nil, err
+	}
+	s.log.Info("job submitted", "job_id", j.ID, "outcome", outcome, "key", key,
+		"strategy", in.Strategy.String(), "request_id", requestID)
+	return j, nil
+}
+
+// enqueue is the locked section of submit: it classifies the submission
+// as cache_hit, dedup or queued and does the matching bookkeeping. Only
+// lock-free atomics are touched under s.mu (see the Server lock rule).
+func (s *Server) enqueue(in *Instance, key, requestID string) (*Job, string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		s.m.rejected.Add(1)
-		return nil, ErrShuttingDown
+		return nil, "shutting down", ErrShuttingDown
 	}
 	s.nextID++
-	j := newJob(fmt.Sprintf("j-%06d", s.nextID), key, in, s.now)
+	j := newJob(fmt.Sprintf("j-%06d", s.nextID), key, requestID, in, s.now)
 
 	if raw, ok := s.cache.Get(key); ok {
 		s.m.submitted.Add(1)
@@ -155,27 +221,28 @@ func (s *Server) Submit(req *Request) (*Job, error) {
 		s.retain(j)
 		j.finish(raw, nil, true, s.now())
 		s.m.completed.Add(1)
-		return j, nil
+		return j, "cache_hit", nil
 	}
 	if leader, ok := s.inflight[key]; ok {
 		// Attach to the in-flight computation: one compute, N results.
 		s.m.submitted.Add(1)
 		s.m.cacheHits.Add(1)
+		s.m.dedups.Add(1)
 		j.leader = leader
 		leader.followers = append(leader.followers, j)
 		s.retain(j)
-		return j, nil
+		return j, "dedup", nil
 	}
 
 	if !s.pool.TrySubmit(func() { s.runJob(j) }) {
 		s.m.rejected.Add(1)
-		return nil, ErrQueueFull
+		return nil, "queue full", ErrQueueFull
 	}
 	s.m.submitted.Add(1)
 	s.m.cacheMisses.Add(1)
 	s.inflight[key] = j
 	s.retain(j)
-	return j, nil
+	return j, "queued", nil
 }
 
 // retain records a job and evicts the oldest terminal records beyond
@@ -290,7 +357,22 @@ func (s *Server) runJob(j *Job) {
 		return
 	}
 	s.m.compute.Add(1)
-	res, err := j.in.Explore(ctx, func(p search.Progress) { j.publishProgress(p) })
+	s.log.Info("job started", "job_id", j.ID, "strategy", j.in.Strategy.String(),
+		"request_id", j.requestID)
+	onProgress := func(p search.Progress) {
+		d := j.publishProgress(p)
+		// Engine-labeled counters take the snapshot's own engine name:
+		// with a multi-engine future (portfolios) the label follows the
+		// emitter, not the job.
+		s.searchEvals.With(p.Engine).Add(d.evals)
+		s.searchAccepted.With(p.Engine).Add(d.accepted)
+		s.searchRejected.With(p.Engine).Add(d.rejected)
+		if d.newStream {
+			s.searchRestarts.With(p.Engine).Inc()
+		}
+	}
+	onPhase := func(name string) { j.markPhase(name, s.now()) }
+	res, err := j.in.Explore(ctx, onProgress, onPhase, s.evals)
 	var raw json.RawMessage
 	if err == nil {
 		raw, err = json.Marshal(NewResult(j.in, res))
@@ -327,6 +409,20 @@ func (s *Server) finishLeader(j *Job, raw json.RawMessage, err error) {
 		if f.finish(raw, ferr, true, now) {
 			s.countFinish(ferr)
 		}
+	}
+
+	st := j.Status()
+	if st.StartedAt != nil {
+		// Job latency by model/strategy, on the server clock seam. Only
+		// computed jobs observe: cache hits never start.
+		s.jobDuration.With(j.in.Strategy.String()).Observe(now.Sub(*st.StartedAt).Seconds())
+	}
+	logArgs := []any{"job_id", j.ID, "state", string(st.State),
+		"duration_ms", st.ElapsedMS, "followers", len(followers), "request_id", j.requestID}
+	if err != nil {
+		s.log.Warn("job finished", append(logArgs, "error", err.Error())...)
+	} else {
+		s.log.Info("job finished", logArgs...)
 	}
 }
 
