@@ -714,6 +714,113 @@ func BenchmarkParetoFrontCDCM(b *testing.B) {
 	b.ReportMetric(float64(pts), "front_points")
 }
 
+// BenchmarkTieredSearchCDCM is the two-tier evaluation headline: CDCM
+// searches end to end, single-tier (every candidate fully simulated,
+// the pre-two-tier behaviour) versus tier-A (certified lower-bound
+// filter, bit-identical results) versus tier-A+B (opt-in calibrated
+// surrogate with exact repricing of survivors). Two instances: the
+// paper's Figure-3 example (2x2, light contention — the bound skips
+// most of the hill climber's neighbourhood) and the largest Table-1
+// workload (12x10 mesh, 99 cores — each exact simulation costs ~200µs,
+// so pricing Metropolis candidates on the surrogate and simulating only
+// accepted moves is a multi-x end-to-end win; CI uploads the pairs as
+// BENCH_twotier.json and the >=2x margin is tracked on the large SA
+// pair). Hill legs pin the skip and exact counters so a bound
+// regression that silently stops filtering fails the benchmark, not
+// just the trend line.
+func BenchmarkTieredSearchCDCM(b *testing.B) {
+	fig3 := func(b *testing.B) (*topology.Mesh, noc.Config, *model.CDCG) {
+		b.Helper()
+		mesh, err := topology.NewMesh(2, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return mesh, noc.PaperExample(), model.PaperExampleCDCG()
+	}
+	// The large SA schedule: fast cooling keeps the cold (low-acceptance)
+	// phase long, which is where tier B pays — rejected candidates never
+	// reach the simulator.
+	saBudget := core.Options{
+		Method: core.MethodSA, Seed: 1,
+		TempSteps: 40, MovesPerTemp: 120, Alpha: 0.7,
+		SurrogateSamples: 16,
+	}
+
+	b.Run("Figure3HillSingleTier", func(b *testing.B) {
+		mesh, cfg, g := fig3(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cdcm, err := core.NewCDCM(mesh, cfg, energy.PaperExample(), g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prob := search.Problem{Mesh: mesh, NumCores: g.NumCores(), Obj: cdcm}
+			res, err := (&search.HillClimber{Problem: prob, Seed: 1}).Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.BoundSkips != 0 || res.ExactEvals != res.Evaluations {
+				b.Fatalf("bare engine reports tier counters: %+v", res)
+			}
+		}
+	})
+	b.Run("Figure3HillTierA", func(b *testing.B) {
+		mesh, cfg, g := fig3(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Explore(core.StrategyCDCM, mesh, cfg, energy.PaperExample(), g,
+				core.Options{Method: core.MethodHill, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Search.BoundSkips == 0 {
+				b.Fatal("tier-A bound never fired on Figure 3")
+			}
+			if i == 0 {
+				b.ReportMetric(float64(res.Search.BoundSkips), "skips")
+				b.ReportMetric(float64(res.Search.ExactEvals), "exact")
+			}
+		}
+	})
+
+	tieredSA := func(b *testing.B, mesh *topology.Mesh, cfg noc.Config, tech energy.Tech, g *model.CDCG, surrogate bool) {
+		opts := saBudget
+		opts.Surrogate = surrogate
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Explore(core.StrategyCDCM, mesh, cfg, tech, g, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if surrogate == (res.Search.SurrogateEvals == 0) {
+				b.Fatalf("surrogate=%v but SurrogateEvals=%d", surrogate, res.Search.SurrogateEvals)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(res.Search.ExactEvals), "exact")
+			}
+		}
+	}
+	b.Run("Figure3SASingleTier", func(b *testing.B) {
+		mesh, cfg, g := fig3(b)
+		tieredSA(b, mesh, cfg, energy.PaperExample(), g, false)
+	})
+	b.Run("Figure3SATierB", func(b *testing.B) {
+		mesh, cfg, g := fig3(b)
+		tieredSA(b, mesh, cfg, energy.PaperExample(), g, true)
+	})
+	b.Run("Large12x10SASingleTier", func(b *testing.B) {
+		mesh, cfg, g := largeInstance(b)
+		tieredSA(b, mesh, cfg, energy.Tech007, g, false)
+	})
+	b.Run("Large12x10SATierB", func(b *testing.B) {
+		mesh, cfg, g := largeInstance(b)
+		tieredSA(b, mesh, cfg, energy.Tech007, g, true)
+	})
+}
+
 // BenchmarkWormholeSimLarge measures one CDCM simulation of the largest
 // Table-1 instance (99 cores, 446 packets on 12x10).
 func BenchmarkWormholeSimLarge(b *testing.B) {

@@ -49,18 +49,19 @@ func main() {
 		topo     = flag.String("topology", "mesh", "grid family for the dim3 experiment: mesh or torus")
 		frate    = flag.Float64("faultrate", 0.08, "link-failure probability for the resilience experiment")
 		fseed    = flag.Int64("faultseed", 2, "fault-injection seed for the resilience experiment")
+		surr     = flag.Bool("surrogate", false, "rank SA/pareto candidates on the calibrated tier-B surrogate (reported results stay exact-repriced)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *which, *seeds, *steps, *moves, *maxTiles, *depth, *topo, *esMax, *samples, *seed, *workers, *frate, *fseed); err != nil {
+	if err := run(ctx, *which, *seeds, *steps, *moves, *maxTiles, *depth, *topo, *esMax, *samples, *seed, *workers, *frate, *fseed, *surr); err != nil {
 		fmt.Fprintln(os.Stderr, "nocexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, which string, seeds, steps, moves, maxTiles, depth int, topo string, esMax int64, samples int, seed int64, workers int, faultRate float64, faultSeed int64) error {
+func run(ctx context.Context, which string, seeds, steps, moves, maxTiles, depth int, topo string, esMax int64, samples int, seed int64, workers int, faultRate float64, faultSeed int64, surrogate bool) error {
 	suite, err := exp.Table1Suite()
 	if err != nil {
 		return err
@@ -105,7 +106,7 @@ func run(ctx context.Context, which string, seeds, steps, moves, maxTiles, depth
 		// Search.Workers as well would stack CompareModels' concurrent
 		// legs on top of the already-saturated workload pool.
 		rep, err := exp.RunTable2(suite, exp.Table2Options{
-			Search:   core.Options{Method: core.MethodSA, TempSteps: steps, MovesPerTemp: moves},
+			Search:   core.Options{Method: core.MethodSA, TempSteps: steps, MovesPerTemp: moves, Surrogate: surrogate},
 			Seeds:    seedList,
 			MaxTiles: maxTiles,
 			Workers:  workers,
@@ -144,7 +145,7 @@ func run(ctx context.Context, which string, seeds, steps, moves, maxTiles, depth
 			}
 		}
 		outs, err := exp.RunBuffers(small, noc.Config{}, nil,
-			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves, Workers: workers})
+			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves, Workers: workers, Surrogate: surrogate})
 		if err != nil {
 			return err
 		}
@@ -158,7 +159,7 @@ func run(ctx context.Context, which string, seeds, steps, moves, maxTiles, depth
 			}
 		}
 		outs, err := exp.RunAblations(small, nil,
-			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves, Workers: workers})
+			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves, Workers: workers, Surrogate: surrogate})
 		if err != nil {
 			return err
 		}
@@ -181,7 +182,7 @@ func run(ctx context.Context, which string, seeds, steps, moves, maxTiles, depth
 			return err
 		}
 		outs, err := exp.RunDim3(g, exp.DefaultDim3Shapes(depth, torus), noc.Config{},
-			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves, Workers: workers})
+			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves, Workers: workers, Surrogate: surrogate})
 		if err != nil {
 			return err
 		}
@@ -193,7 +194,7 @@ func run(ctx context.Context, which string, seeds, steps, moves, maxTiles, depth
 			return err
 		}
 		out, err := exp.RunPareto(g, 4, 4, noc.Config{},
-			core.Options{Seed: seed, TempSteps: steps, MovesPerTemp: moves, Workers: workers, Ctx: ctx})
+			core.Options{Seed: seed, TempSteps: steps, MovesPerTemp: moves, Workers: workers, Ctx: ctx, Surrogate: surrogate})
 		if err != nil {
 			return err
 		}
@@ -205,7 +206,7 @@ func run(ctx context.Context, which string, seeds, steps, moves, maxTiles, depth
 			return err
 		}
 		out, err := exp.RunResilience(g, 4, 4, noc.Config{},
-			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves, Workers: workers, Ctx: ctx},
+			core.Options{Method: core.MethodSA, Seed: seed, TempSteps: steps, MovesPerTemp: moves, Workers: workers, Ctx: ctx, Surrogate: surrogate},
 			faultRate, faultSeed)
 		if err != nil {
 			return err

@@ -73,6 +73,8 @@ type options struct {
 	faultRate  float64
 	faultSeed  int64
 	greedySeed bool
+	surrogate  bool
+	surrSamp   int
 	workers    int
 	cpuProfile string
 	memProfile string
@@ -102,6 +104,8 @@ func main() {
 	flag.Float64Var(&o.faultRate, "faultrate", 0, "inject link faults: per-link failure probability (deterministic under -faultseed)")
 	flag.Int64Var(&o.faultSeed, "faultseed", 0, "fault-injection seed for -faultrate")
 	flag.BoolVar(&o.greedySeed, "greedy", false, "warm-start the search with the deterministic highest-traffic-first placement")
+	flag.BoolVar(&o.surrogate, "surrogate", false, "rank SA/pareto candidates on a calibrated surrogate (tier B); survivors and all reported results are exact-repriced")
+	flag.IntVar(&o.surrSamp, "surrsamples", 0, "exact simulations used to calibrate the -surrogate predictor (0 = default budget)")
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "parallel worker goroutines (results are seed-deterministic for any value)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the exploration to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile (taken after the run) to this file")
@@ -144,22 +148,24 @@ func run(o options) error {
 	// Resolve flags exactly like a daemon request — one shared validation
 	// and defaulting path for CLI and service.
 	req := service.Request{
-		App:        g,
-		Mesh:       o.mesh,
-		Topology:   o.topo,
-		Depth:      o.depth,
-		Routing:    o.routing,
-		FlitBits:   o.flits,
-		Tech:       o.tech,
-		Model:      o.model,
-		Method:     o.method,
-		Seed:       o.seed,
-		Restarts:   o.restarts,
-		FrontSize:  o.frontSize,
-		FaultRate:  o.faultRate,
-		FaultSeed:  o.faultSeed,
-		GreedySeed: o.greedySeed,
-		Workers:    o.workers,
+		App:              g,
+		Mesh:             o.mesh,
+		Topology:         o.topo,
+		Depth:            o.depth,
+		Routing:          o.routing,
+		FlitBits:         o.flits,
+		Tech:             o.tech,
+		Model:            o.model,
+		Method:           o.method,
+		Seed:             o.seed,
+		Restarts:         o.restarts,
+		FrontSize:        o.frontSize,
+		FaultRate:        o.faultRate,
+		FaultSeed:        o.faultSeed,
+		GreedySeed:       o.greedySeed,
+		Surrogate:        o.surrogate,
+		SurrogateSamples: o.surrSamp,
+		Workers:          o.workers,
 	}
 	in, err := req.Resolve()
 	if err != nil {

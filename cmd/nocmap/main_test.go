@@ -246,6 +246,42 @@ func TestRunJSONOutputSharedSchemaAndDeterminism(t *testing.T) {
 	}
 }
 
+// The -surrogate flag reaches the engine: a tier-B CDCM run reports
+// surrogate evaluations alongside exact repricings, keeps the counter
+// split summing to Evaluations, and stays byte-deterministic.
+func TestRunSurrogateJSON(t *testing.T) {
+	runOnce := func() service.CLIResult {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run(options{demo: true, mesh: "2x2", model: "cdcm", method: "sa",
+			tech: "0.07um", routing: "xy", seed: 11, flits: 1, restarts: 1, workers: 2,
+			surrogate: true, surrSamp: 8, jsonOut: true, stdout: &out}); err != nil {
+			t.Fatal(err)
+		}
+		var env service.CLIResult
+		if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+			t.Fatalf("-json emitted invalid JSON: %v\n%s", err, out.String())
+		}
+		return env
+	}
+	a, b := runOnce(), runOnce()
+	r := a.Result
+	if r == nil {
+		t.Fatalf("missing result payload: %+v", a)
+	}
+	if r.SurrogateEvals == 0 || r.ExactEvals == 0 {
+		t.Errorf("surrogate run did not split evaluations: %+v", r)
+	}
+	if r.ExactEvals+r.BoundSkips+r.SurrogateEvals != r.Evaluations {
+		t.Errorf("tier counters do not sum to evaluations: %+v", r)
+	}
+	ja, _ := json.Marshal(a.Result)
+	jb, _ := json.Marshal(b.Result)
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("repeated -surrogate runs differ:\n%s\n%s", ja, jb)
+	}
+}
+
 func TestRunResilienceEndToEnd(t *testing.T) {
 	// Rate 0.3 / seed 6 deterministically fails link 2-3 of the 2x2 and
 	// keeps the grid connected; the human report must carry the

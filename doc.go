@@ -40,6 +40,29 @@
 // opt-in (Simulator/Scratch RecordOccupancy) and only enabled by the
 // trace/Gantt renderers (see README "Allocation-free CDCM evaluation").
 //
+// On top of the simulator sits two-tier CDCM evaluation
+// (search.TieredObjective). Tier A is a certified lower bound: the
+// exact dynamic energy plus static energy over the uncontended
+// critical path is provably ≤ the simulated contended cost, so the
+// strict-improvement engines (hill climber, tabu) skip any swap whose
+// bound already fails the incumbent without running the simulator —
+// always on under core.Explore, bit-identical by construction, and
+// allocation-free (//nocvet:noalloc) on the bound-compare path. Tier B
+// is an opt-in calibrated surrogate (core.Options.Surrogate, default
+// off) for SA and ParetoSA: an analytic predictor least-squares-fitted
+// per instance against a deterministic, seed-keyed sample of exact
+// simulations, used to rank Metropolis candidates so only accepted
+// moves — and the final Best and every Pareto front point — are priced
+// on the simulator. The determinism contract extends to both tiers:
+// tier A never changes Best, BestCost or the accept/reject trajectory
+// (pinned bitwise against the unfiltered engines), and tier B fits its
+// surrogate once before workers fan out, so results remain
+// bit-identical for every Workers value and every reported number is
+// an exact simulator price, never a surrogate estimate. Search results
+// split Evaluations into ExactEvals + BoundSkips + SurrogateEvals
+// (the sum invariant holds in every Result, progress snapshot and
+// telemetry block). See README "Two-tier CDCM evaluation".
+//
 // The scalar cost the paper optimises is one point of a trade-off curve,
 // and the framework can report the whole curve: both evaluators implement
 // search.VectorObjective, exposing named component axes (CWM: dynamic

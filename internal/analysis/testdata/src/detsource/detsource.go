@@ -38,3 +38,33 @@ func goodSeededRand(seed int64) int {
 func goodTimeArithmetic(d time.Duration) time.Duration {
 	return d * 2
 }
+
+// goodSurrogateSampling is the tier-B calibration seam: the sample set
+// the surrogate is fitted against is drawn from a generator keyed by
+// the job seed, so every worker (and every replay) fits the same
+// predictor.
+func goodSurrogateSampling(seed int64, samples int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, samples)
+	for i := range out {
+		out[i] = rng.Intn(1 << 20)
+	}
+	return out
+}
+
+// badSurrogateSampling seeds the calibration draw from the clock: two
+// workers would fit different predictors and the search would stop
+// being replayable.
+func badSurrogateSampling(samples int) []int {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano())) // want `time.Now reads the wall clock`
+	out := make([]int, samples)
+	for i := range out {
+		out[i] = rng.Intn(1 << 20)
+	}
+	return out
+}
+
+// badSurrogateBudget lets the environment pick the calibration budget.
+func badSurrogateBudget() string {
+	return os.Getenv("NOC_SURROGATE_SAMPLES") // want `reads the process environment`
+}

@@ -113,6 +113,54 @@ func goodAtomicCounter(sc *scratch, evals *atomic.Int64) int {
 	return sum
 }
 
+// swapAggKernel mirrors the tiered evaluator's shared aggregate kernel:
+// annotated, so the bound-compare path may call it.
+//
+//nocvet:noalloc
+func swapAggKernel(sc *scratch, ta, tb int) int {
+	d := 0
+	for _, v := range sc.buf {
+		d += helper(v) - ta + tb
+	}
+	return d
+}
+
+// goodBoundCompare is the tier-A shape: recompute the swapped aggregate
+// through the annotated kernel, derive an absolute lower bound in
+// caller-owned scratch, and compare against the incumbent — no
+// allocation anywhere on the skip/accept decision.
+//
+//nocvet:noalloc
+func goodBoundCompare(sc *scratch, incumbent, bestD, ta, tb int) bool {
+	lb := swapAggKernel(sc, ta, tb)
+	return lb-incumbent >= bestD // bound certifies: skip without simulating
+}
+
+// badBoundCompare prices the bound through an un-audited LP helper —
+// the regression the analyzer must keep out of the skip path.
+//
+//nocvet:noalloc
+func badBoundCompare(sc *scratch, incumbent, ta, tb int) bool {
+	return plainLP(sc, ta, tb) >= incumbent // want `calls .*plainLP which is not marked`
+}
+
+// plainLP is NOT annotated: a longest-path walk that has never been
+// audited for steady-state allocation.
+func plainLP(sc *scratch, ta, tb int) int {
+	return len(sc.buf) + ta + tb
+}
+
+// badBoundScratch materialises the patched mapping instead of reusing
+// the walk's scratch — a fresh backing array per candidate.
+//
+//nocvet:noalloc
+func badBoundScratch(sc *scratch, ta, tb int) int {
+	patched := make([]int, len(sc.buf)) // want `make allocates`
+	copy(patched, sc.buf)
+	patched[ta], patched[tb] = patched[tb], patched[ta]
+	return swapAggKernel(sc, ta, tb)
+}
+
 // badMapCounter tallies into a map on the steady path: each store may
 // insert, and an insert may grow the bucket array.
 //

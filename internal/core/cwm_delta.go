@@ -124,8 +124,29 @@ func (c *CWM) SwapDelta(occ []model.CoreID, ta, tb topology.TileID) (float64, er
 	if c.Evals != nil {
 		c.Evals.Inc()
 	}
+	dR, dV, err := c.swapAgg(occ, ta, tb)
+	if err != nil {
+		return 0, err
+	}
+	if dR == 0 && dV == 0 {
+		// Unchanged aggregates mean the full path would price the swapped
+		// mapping at a bit-identical cost, so the delta is an exact zero.
+		return 0, nil
+	}
+	rb, vb := c.routerBits, c.tsvBits
+	return c.Tech.DynamicFromTraffic3D(rb+dR, rb+dR-c.totalBits, vb+dV, c.coreBits) -
+		c.Tech.DynamicFromTraffic3D(rb, rb-c.totalBits, vb, c.coreBits), nil
+}
+
+// swapAgg prices the integer-aggregate change of exchanging the occupants
+// of ta and tb against the bound baseline, in O(deg(a)+deg(b)) and
+// without applying the swap: dR is the routerBits change, dV the tsvBits
+// change. It is the shared kernel of SwapDelta and the tier-A certified
+// bound (cdcmBound.SwapBound), which both need the swapped mapping's
+// exact integer aggregates without mutating the baseline.
+//nocvet:noalloc
+func (c *CWM) swapAgg(occ []model.CoreID, ta, tb topology.TileID) (dR, dV int64, err error) {
 	ca, cb := occ[ta], occ[tb]
-	var dR, dV int64
 	bound := c.bound
 	edgeK := c.edgeK
 	// Two passes: ca's incident edges, then cb's. Edges between ca and cb
@@ -162,7 +183,7 @@ func (c *CWM) SwapDelta(occ []model.CoreID, ta, tb topology.TileID) (float64, er
 				//nocvet:ignore cache-miss fallback: every pair is computed once, then served from kCache; amortized alloc-free
 				kk, err := c.routersSlow(nt, ot)
 				if err != nil {
-					return 0, err
+					return 0, 0, err
 				}
 				k = int16(kk)
 			}
@@ -176,14 +197,7 @@ func (c *CWM) SwapDelta(occ []model.CoreID, ta, tb topology.TileID) (float64, er
 			}
 		}
 	}
-	if dR == 0 && dV == 0 {
-		// Unchanged aggregates mean the full path would price the swapped
-		// mapping at a bit-identical cost, so the delta is an exact zero.
-		return 0, nil
-	}
-	rb, vb := c.routerBits, c.tsvBits
-	return c.Tech.DynamicFromTraffic3D(rb+dR, rb+dR-c.totalBits, vb+dV, c.coreBits) -
-		c.Tech.DynamicFromTraffic3D(rb, rb-c.totalBits, vb, c.coreBits), nil
+	return dR, dV, nil
 }
 
 // Commit implements search.DeltaObjective: it folds an accepted swap into

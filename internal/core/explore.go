@@ -148,6 +148,22 @@ type Options struct {
 	// CompareModels (0 or 1 = serial). For a fixed Seed the results are
 	// bit-identical across Workers values; Workers only buys wall-clock.
 	Workers int
+	// Surrogate enables the tier-B calibrated surrogate for the
+	// Metropolis engines (MethodSA under StrategyCDCM, and the intact
+	// StrategyPareto): the walk prices candidates on an analytic
+	// predictor fitted against exact simulations at build time, and only
+	// accepted moves (plus the final winner and every front point) pay an
+	// exact simulation. Default off — surrogate runs are deterministic
+	// (fixed Seed ⇒ fixed fit ⇒ fixed walk, for every Workers value) but
+	// not bit-identical to a surrogate-free run. The flag is ignored by
+	// the engines that cannot use it: CWM (already cheap), the
+	// strict-improvement and enumerating methods, and the
+	// resilience/faulted-pareto objectives.
+	Surrogate bool
+	// SurrogateSamples is the tier-B calibration budget — the number of
+	// exact simulations the per-instance fit consumes (0 =
+	// DefaultSurrogateSamples). Ignored unless Surrogate is set.
+	SurrogateSamples int
 	// Faults, when non-empty, is the fault set resilience runs score
 	// against. StrategyResilience requires it; with the other strategies
 	// it leaves the search objective untouched but makes Explore attach a
@@ -270,6 +286,53 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 			}
 			cdcmBase.Evals = opts.EvalCounter
 			newObjective = func() (search.Objective, error) { return cdcmBase.Clone(), nil }
+
+			// Two-tier seam (search.TieredObjective). Tier A — the certified
+			// lower bound — attaches unconditionally to the strict-improvement
+			// engines: it is bit-identical by construction, so there is no
+			// reason to make it optional. Tier B — the calibrated surrogate —
+			// attaches only on request to the Metropolis engines that can
+			// exact-reprice their accepted moves.
+			needBound := strategy == StrategyCDCM &&
+				(opts.Method == MethodHill || opts.Method == MethodTabu)
+			needSurr := opts.Surrogate &&
+				(strategy == StrategyPareto || (strategy == StrategyCDCM && opts.Method == MethodSA))
+			if needBound || needSurr {
+				var lbSkel *texecLB
+				if needBound {
+					if lbSkel, err = newTexecLB(cfg, g); err != nil {
+						return nil, err
+					}
+				}
+				var fit surrogateFit
+				if needSurr {
+					// Fitted once, before any lane exists: every worker lane
+					// shares the same immutable fit, so the surrogate walk is
+					// independent of the worker count.
+					if fit, err = fitSurrogate(mesh, cfg, tech, g, cdcmBase,
+						opts.Seed, opts.SurrogateSamples); err != nil {
+						return nil, err
+					}
+				}
+				newObjective = func() (search.Objective, error) {
+					t := &search.TieredObjective{Exact: cdcmBase.Clone()}
+					if needBound {
+						bnd, err := newCDCMBound(mesh, cfg, tech, g, lbSkel)
+						if err != nil {
+							return nil, err
+						}
+						t.Bound = bnd
+					}
+					if needSurr {
+						surr, err := newCDCMSurrogate(mesh, cfg, tech, g, fit)
+						if err != nil {
+							return nil, err
+						}
+						t.Surrogate = surr
+					}
+					return t, nil
+				}
+			}
 		}
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %d", strategy)
@@ -327,11 +390,13 @@ func Explore(strategy Strategy, mesh *topology.Mesh, cfg noc.Config, tech energy
 		out := &ExploreResult{
 			Strategy: strategy,
 			Search: &search.Result{
-				Best:         best.Mapping,
-				BestCost:     best.Cost,
-				InitialCost:  front.InitialCost,
-				Evaluations:  front.Evaluations,
-				Improvements: front.Improvements,
+				Best:           best.Mapping,
+				BestCost:       best.Cost,
+				InitialCost:    front.InitialCost,
+				Evaluations:    front.Evaluations,
+				ExactEvals:     front.ExactEvals,
+				SurrogateEvals: front.SurrogateEvals,
+				Improvements:   front.Improvements,
 			},
 			Best:    best.Mapping,
 			Metrics: metrics,

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/energy"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/noc"
+	"repro/internal/search"
+	"repro/internal/topology"
+)
+
+// This file implements the two cheap tiers of search.TieredObjective for
+// CDCM, whose exact pricing is a full wormhole simulation per candidate:
+//
+//   - cdcmBound (tier A) is a certified lower bound on ENoC. The dynamic
+//     term is exact — it folds the same integer traffic aggregates the
+//     simulator produces (pinned by the CWM/CDCM dynamic-agreement tests)
+//     — and the static term replaces the simulated texec with the
+//     dependence graph's uncontended critical path, which can only
+//     undershoot it: the wormhole network can delay a packet but never
+//     accelerate it below its contention-free duration. Every float on
+//     the way from the critical-path cycle count to the bound goes
+//     through the same monotone pipeline the exact pricer uses
+//     (CyclesToSeconds, StaticEnergy, one final addition), so
+//     bound ≤ exact holds on the computed float64s, which is what lets
+//     HillClimber/Tabu skip bound-rejected swaps with a bit-identical
+//     trajectory.
+//   - cdcmSurrogate (tier B) is a calibrated analytic predictor of ENoC:
+//     texec is approximated as an affine function of the uncontended
+//     hop-latency aggregate L (CWM's latency axis), least-squares fitted
+//     per instance against a deterministic sample of exact simulations at
+//     build time (fitSurrogate). It prices swaps incrementally over the
+//     CWM integer aggregates — roughly the cost of a CWM delta probe —
+//     and carries no certification: the Metropolis engines that walk on
+//     it re-price everything that can reach a reported result exactly.
+
+// texecLB is the immutable skeleton of the critical-path computation:
+// the dependence DAG in topological order with CSR successor lists, the
+// per-packet constants, and the per-hop cycle coefficients. One skeleton
+// is shared read-only by every worker lane's cdcmBound.
+type texecLB struct {
+	order     []int32 // topological order of packet vertices
+	succStart []int32 // CSR offsets into succ (len = packets+1)
+	succ      []int32
+	pSrc      []int32 // per-packet source core
+	pDst      []int32 // per-packet destination core
+	pFlits    []int64 // per-packet flit count
+	pCompute  []int64 // per-packet computation cycles (t_aq)
+	trl       int64   // tr + tl, per router traversed
+	vadj      int64   // tTSV − tl, per vertical hop
+	tl        int64   // tl, per payload flit
+}
+
+// newTexecLB builds the skeleton from the application's dependence graph.
+func newTexecLB(cfg noc.Config, g *model.CDCG) (*texecLB, error) {
+	dg, err := g.DepGraph()
+	if err != nil {
+		return nil, err
+	}
+	order, err := dg.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumPackets()
+	lb := &texecLB{
+		order:     make([]int32, n),
+		succStart: make([]int32, n+1),
+		pSrc:      make([]int32, n),
+		pDst:      make([]int32, n),
+		pFlits:    make([]int64, n),
+		pCompute:  make([]int64, n),
+		trl:       cfg.RoutingCycles + cfg.LinkCycles,
+		vadj:      cfg.TSVCycles() - cfg.LinkCycles,
+		tl:        cfg.LinkCycles,
+	}
+	for i, v := range order {
+		lb.order[i] = int32(v)
+	}
+	for v := 0; v < n; v++ {
+		lb.succStart[v+1] = lb.succStart[v] + int32(len(dg.Succ(v)))
+	}
+	lb.succ = make([]int32, lb.succStart[n])
+	for v := 0; v < n; v++ {
+		at := int(lb.succStart[v])
+		for j, s := range dg.Succ(v) {
+			lb.succ[at+j] = int32(s)
+		}
+	}
+	for v, p := range g.Packets {
+		lb.pSrc[v] = int32(p.Src)
+		lb.pDst[v] = int32(p.Dst)
+		lb.pFlits[v] = cfg.Flits(p.Bits)
+		lb.pCompute[v] = p.Compute
+	}
+	return lb, nil
+}
+
+// cdcmBound implements search.LowerBoundObjective for CDCM. It owns a
+// private CWM (never the walk's delta evaluator — CDCM runs have none)
+// whose integer aggregates supply the exact dynamic term and whose
+// route caches supply the per-packet hop counts; dist is the lane's
+// critical-path scratch. Stateful between ResetBound and the last
+// CommitBound, one instance per worker lane.
+type cdcmBound struct {
+	cwm  *CWM
+	lb   *texecLB
+	dist []int64
+}
+
+var _ search.LowerBoundObjective = (*cdcmBound)(nil)
+
+// newCDCMBound builds one lane's bound evaluator over a shared skeleton.
+func newCDCMBound(mesh *topology.Mesh, cfg noc.Config, tech energy.Tech,
+	g *model.CDCG, lb *texecLB) (*cdcmBound, error) {
+	cwm, err := NewCWM(mesh, cfg, tech, g.ToCWG())
+	if err != nil {
+		return nil, err
+	}
+	return &cdcmBound{cwm: cwm, lb: lb, dist: make([]int64, g.NumPackets())}, nil
+}
+
+// ResetBound implements search.LowerBoundObjective: it binds mp as the
+// incremental baseline (validating it, via CWM.Reset) and returns its
+// bound.
+func (b *cdcmBound) ResetBound(mp mapping.Mapping) (float64, error) {
+	dyn, err := b.cwm.Reset(mp)
+	if err != nil {
+		return 0, err
+	}
+	lp, err := b.lpCycles(-1, -1)
+	if err != nil {
+		return 0, err
+	}
+	c := b.cwm
+	return dyn + c.Tech.StaticEnergy(c.numTiles, c.Cfg.CyclesToSeconds(lp)), nil
+}
+
+// SwapBound implements search.LowerBoundObjective: the certified bound of
+// the mapping obtained by exchanging the occupants of ta and tb, priced
+// without applying the swap. It returns the absolute bound recomputed
+// from the swapped state's aggregates — never tracked-value-plus-delta —
+// so the float64 certificate bound ≤ exact survives rounding (see
+// search.LowerBoundObjective).
+//nocvet:noalloc
+func (b *cdcmBound) SwapBound(occ []model.CoreID, ta, tb topology.TileID) (float64, error) {
+	c := b.cwm
+	if c.bound == nil {
+		return 0, errors.New("core: SwapBound before ResetBound")
+	}
+	dR, dV, err := c.swapAgg(occ, ta, tb)
+	if err != nil {
+		return 0, err
+	}
+	rb, vb := c.routerBits+dR, c.tsvBits+dV
+	dyn := c.Tech.DynamicFromTraffic3D(rb, rb-c.totalBits, vb, c.coreBits)
+	lp, err := b.lpCycles(ta, tb)
+	if err != nil {
+		return 0, err
+	}
+	return dyn + c.Tech.StaticEnergy(c.numTiles, c.Cfg.CyclesToSeconds(lp)), nil
+}
+
+// CommitBound implements search.LowerBoundObjective: folds an accepted
+// swap into the baseline.
+func (b *cdcmBound) CommitBound(ta, tb topology.TileID) { b.cwm.Commit(ta, tb) }
+
+// lpCycles returns the uncontended critical path of the dependence DAG in
+// cycles under the baseline mapping with the occupants of ta and tb
+// exchanged (pass ta = tb = -1 for the unpatched baseline). Packet v
+// contributes its computation time plus its contention-free network
+// duration K·(tr+tl) + V·(tTSV−tl) + n·tl — exactly the duration the
+// wormhole simulator charges an unobstructed packet, which contention
+// (and fault detours, whose routes are hop-wise at least as long) can
+// only increase. The patch trick prices a swap without touching the
+// baseline, keeping the scan allocation-free.
+//nocvet:noalloc
+func (b *cdcmBound) lpCycles(ta, tb topology.TileID) (int64, error) {
+	lb := b.lb
+	c := b.cwm
+	bound := c.bound
+	dist := b.dist
+	clear(dist)
+	var best int64
+	for _, vi := range lb.order {
+		v := int(vi)
+		st := bound[lb.pSrc[v]]
+		dt := bound[lb.pDst[v]]
+		if st == ta {
+			st = tb
+		} else if st == tb {
+			st = ta
+		}
+		if dt == ta {
+			dt = tb
+		} else if dt == tb {
+			dt = ta
+		}
+		k, err := c.routers(st, dt)
+		if err != nil {
+			return 0, err
+		}
+		w := lb.pCompute[v] + int64(k)*lb.trl + lb.pFlits[v]*lb.tl
+		if !c.flat {
+			// routers filled the pair's cache line, so the vertical hop
+			// count is valid here (same guarantee Cost relies on).
+			w += int64(c.vCache[int(st)*c.numTiles+int(dt)]) * lb.vadj
+		}
+		d := dist[v] + w
+		if d > best {
+			best = d
+		}
+		for _, s := range lb.succ[lb.succStart[v]:lb.succStart[v+1]] {
+			if d > dist[s] {
+				dist[s] = d
+			}
+		}
+	}
+	return best, nil
+}
+
+// surrogateFit is the calibrated texec predictor: texec̃ = A + B·L cycles,
+// where L is the uncontended hop-latency aggregate (CWM's latency axis).
+// Immutable once fitted; shared by every worker lane's cdcmSurrogate so
+// the prediction — and therefore the whole tier-B walk — is independent
+// of the worker count.
+type surrogateFit struct {
+	A, B float64
+}
+
+// DefaultSurrogateSamples is the tier-B calibration budget when
+// Options.SurrogateSamples is zero: enough exact simulations to pin an
+// affine fit on the paper's instances, few enough that calibration stays
+// a small fraction of the exact evaluations the surrogate then saves.
+const DefaultSurrogateSamples = 24
+
+// fitSurrogate calibrates the predictor for one instance: it prices
+// `samples` seeded random mappings exactly (on a private clone lane of
+// the exact evaluator) and least-squares fits simulated texec against the
+// uncontended hop aggregate L. The sample set is keyed by seed alone, so
+// a fixed (instance, seed, samples) triple always yields the same fit.
+// Degenerate sample sets (constant L) and inverted fits (B < 0, possible
+// on contention-dominated instances where L explains nothing) fall back
+// to the constant predictor at the mean — the surrogate then ranks by
+// dynamic energy alone, which is still a useful walk signal.
+func fitSurrogate(mesh *topology.Mesh, cfg noc.Config, tech energy.Tech,
+	g *model.CDCG, exact *CDCM, seed int64, samples int) (surrogateFit, error) {
+	if samples <= 0 {
+		samples = DefaultSurrogateSamples
+	}
+	feat, err := NewCWM(mesh, cfg, tech, g.ToCWG())
+	if err != nil {
+		return surrogateFit{}, err
+	}
+	lane := exact.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	comps := make([]float64, len(cwmAxes))
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < samples; i++ {
+		mp, err := mapping.Random(rng, g.NumCores(), mesh.NumTiles())
+		if err != nil {
+			return surrogateFit{}, err
+		}
+		if err := feat.ComponentsInto(mp, comps); err != nil {
+			return surrogateFit{}, err
+		}
+		m, err := lane.Evaluate(mp)
+		if err != nil {
+			return surrogateFit{}, err
+		}
+		x, y := comps[1], float64(m.ExecCycles)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	n := float64(samples)
+	var fit surrogateFit
+	den := n*sxx - sx*sx
+	if den > 0 {
+		fit.B = (n*sxy - sx*sy) / den
+		fit.A = (sy - fit.B*sx) / n
+	}
+	if den <= 0 || fit.B < 0 {
+		fit = surrogateFit{A: sy / n}
+	}
+	return fit, nil
+}
+
+// cdcmSurrogate implements search.DeltaObjective and
+// search.VectorObjective as CDCM's tier-B approximation: ENoC with the
+// simulated texec replaced by the fitted predictor. Pricing runs over a
+// private CWM's integer aggregates, so a surrogate swap probe costs
+// about as much as a CWM delta probe — the "as cheap as CWM" target.
+// One instance per worker lane; the fit is shared and immutable.
+type cdcmSurrogate struct {
+	cwm *CWM
+	fit surrogateFit
+	// L coefficients, hoisted from Cfg once: cycles per router bit, per
+	// planar link bit and per vertical link bit.
+	ftr, ftl, ftv float64
+}
+
+var (
+	_ search.DeltaObjective  = (*cdcmSurrogate)(nil)
+	_ search.VectorObjective = (*cdcmSurrogate)(nil)
+)
+
+// newCDCMSurrogate builds one lane's surrogate evaluator around a fit.
+func newCDCMSurrogate(mesh *topology.Mesh, cfg noc.Config, tech energy.Tech,
+	g *model.CDCG, fit surrogateFit) (*cdcmSurrogate, error) {
+	cwm, err := NewCWM(mesh, cfg, tech, g.ToCWG())
+	if err != nil {
+		return nil, err
+	}
+	return &cdcmSurrogate{cwm: cwm, fit: fit,
+		ftr: float64(cfg.RoutingCycles),
+		ftl: float64(cfg.LinkCycles),
+		ftv: float64(cfg.TSVCycles())}, nil
+}
+
+// texecCycles predicts texec (in cycles, clamped non-negative) from the
+// traffic aggregates.
+//nocvet:noalloc
+func (s *cdcmSurrogate) texecCycles(rb, vb int64) float64 {
+	c := s.cwm
+	l := float64(rb)*s.ftr + float64(rb-c.totalBits-vb)*s.ftl + float64(vb)*s.ftv
+	t := s.fit.A + s.fit.B*l
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// priceAgg prices the surrogate objective from the traffic aggregates:
+// exact dynamic energy plus the predicted static energy, accumulated in
+// the same order the exact pricer and Breakdown.Total use so the scalar
+// equals the collapsed vector bit for bit.
+//nocvet:noalloc
+func (s *cdcmSurrogate) priceAgg(rb, vb int64) float64 {
+	c := s.cwm
+	dyn := c.Tech.DynamicFromTraffic3D(rb, rb-c.totalBits, vb, c.coreBits)
+	st := c.Tech.StaticPower(c.numTiles) * (s.texecCycles(rb, vb) * c.Cfg.ClockNS * 1e-9)
+	return dyn + st
+}
+
+// aggregates folds mp's traffic aggregates, exactly like CWM.Cost (same
+// hot-path contract: mp must be structurally valid and injective).
+//nocvet:noalloc
+func (s *cdcmSurrogate) aggregates(mp mapping.Mapping) (rb, vb int64, err error) {
+	c := s.cwm
+	if len(mp) != c.G.NumCores() {
+		return 0, 0, fmt.Errorf("core: mapping covers %d cores, CWG has %d", len(mp), c.G.NumCores())
+	}
+	for _, e := range c.G.Edges {
+		k, err := c.routers(mp[e.Src], mp[e.Dst])
+		if err != nil {
+			return 0, 0, err
+		}
+		rb += e.Bits * int64(k)
+		if !c.flat {
+			vb += e.Bits * int64(c.vCache[int(mp[e.Src])*c.numTiles+int(mp[e.Dst])])
+		}
+	}
+	return rb, vb, nil
+}
+
+// Cost implements search.Objective: the surrogate ENoC of mp.
+//nocvet:noalloc
+func (s *cdcmSurrogate) Cost(mp mapping.Mapping) (float64, error) {
+	rb, vb, err := s.aggregates(mp)
+	if err != nil {
+		return 0, err
+	}
+	return s.priceAgg(rb, vb), nil
+}
+
+// Reset implements search.DeltaObjective: binds mp as the incremental
+// baseline (validating it) and returns its surrogate cost.
+func (s *cdcmSurrogate) Reset(mp mapping.Mapping) (float64, error) {
+	if _, err := s.cwm.Reset(mp); err != nil {
+		return 0, err
+	}
+	return s.priceAgg(s.cwm.routerBits, s.cwm.tsvBits), nil
+}
+
+// SwapDelta implements search.DeltaObjective: the surrogate cost change
+// of exchanging the occupants of ta and tb, priced in O(deg) without
+// applying the swap.
+//nocvet:noalloc
+func (s *cdcmSurrogate) SwapDelta(occ []model.CoreID, ta, tb topology.TileID) (float64, error) {
+	c := s.cwm
+	if c.bound == nil {
+		return 0, errors.New("core: surrogate SwapDelta before Reset")
+	}
+	dR, dV, err := c.swapAgg(occ, ta, tb)
+	if err != nil {
+		return 0, err
+	}
+	if dR == 0 && dV == 0 {
+		return 0, nil
+	}
+	rb, vb := c.routerBits, c.tsvBits
+	return s.priceAgg(rb+dR, vb+dV) - s.priceAgg(rb, vb), nil
+}
+
+// Commit implements search.DeltaObjective: folds an accepted swap into
+// the baseline and returns the updated baseline's surrogate cost.
+//nocvet:noalloc
+func (s *cdcmSurrogate) Commit(ta, tb topology.TileID) float64 {
+	s.cwm.Commit(ta, tb)
+	return s.priceAgg(s.cwm.routerBits, s.cwm.tsvBits)
+}
+
+// Axes implements search.VectorObjective: the surrogate prices the same
+// three axes as CDCM (dynamic energy, static energy, texec), with the
+// latter two predicted instead of simulated — which is what lets the
+// Pareto engine walk on it in CDCM's place.
+//nocvet:noalloc
+func (s *cdcmSurrogate) Axes() []string { return cdcmAxes }
+
+// CollapseWeights implements search.VectorObjective (same collapse as
+// CDCM: ENoC = dynamic + static).
+//nocvet:noalloc
+func (s *cdcmSurrogate) CollapseWeights() []float64 { return cdcmWeights }
+
+// ComponentsInto implements search.VectorObjective.
+//nocvet:noalloc
+func (s *cdcmSurrogate) ComponentsInto(mp mapping.Mapping, dst []float64) error {
+	if len(dst) < len(cdcmAxes) {
+		return fmt.Errorf("core: component buffer holds %d axes, surrogate has %d", len(dst), len(cdcmAxes))
+	}
+	rb, vb, err := s.aggregates(mp)
+	if err != nil {
+		return err
+	}
+	c := s.cwm
+	t := s.texecCycles(rb, vb)
+	dst[0] = c.Tech.DynamicFromTraffic3D(rb, rb-c.totalBits, vb, c.coreBits)
+	dst[1] = c.Tech.StaticPower(c.numTiles) * (t * c.Cfg.ClockNS * 1e-9)
+	dst[2] = t
+	return nil
+}

@@ -94,6 +94,7 @@ func (t Tech) DynamicFromTraffic3D(routerBits, linkBits, tsvBits, coreBits int64
 }
 
 // StaticPower returns PStNoC of equation (5): numTiles * PSRouter.
+//nocvet:noalloc
 func (t Tech) StaticPower(numTiles int) float64 {
 	if numTiles <= 0 {
 		return 0
@@ -102,6 +103,7 @@ func (t Tech) StaticPower(numTiles int) float64 {
 }
 
 // StaticEnergy returns EStNoC of equation (9): PStNoC * texec.
+//nocvet:noalloc
 func (t Tech) StaticEnergy(numTiles int, execSeconds float64) float64 {
 	if execSeconds < 0 {
 		return 0

@@ -183,4 +183,5 @@ func (c Config) PayloadDelay(flits int64) int64 {
 func (c Config) CyclesToNS(cycles int64) float64 { return float64(cycles) * c.ClockNS }
 
 // CyclesToSeconds converts a cycle count to seconds using λ.
+//nocvet:noalloc
 func (c Config) CyclesToSeconds(cycles int64) float64 { return float64(cycles) * c.ClockNS * 1e-9 }

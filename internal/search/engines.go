@@ -58,9 +58,11 @@ func (e *Exhaustive) Run() (*Result, error) {
 				return false
 			}
 			res.Evaluations++
+			res.ExactEvals++
 			if e.OnProgress != nil && res.Evaluations%4096 == 0 {
 				e.OnProgress(Progress{Engine: "ES", Evaluations: res.Evaluations,
-					Accepted: res.Improvements, Rejected: res.Evaluations - res.Improvements,
+					ExactEvals: res.ExactEvals,
+					Accepted:   res.Improvements, Rejected: res.Evaluations - res.Improvements,
 					BestCost: res.BestCost})
 			}
 			if res.Evaluations == 1 {
@@ -126,6 +128,7 @@ func (r *RandomSearch) Run() (*Result, error) {
 			return nil, err
 		}
 		res.Evaluations++
+		res.ExactEvals++
 		if i == 0 {
 			res.InitialCost = c
 		}
@@ -136,8 +139,8 @@ func (r *RandomSearch) Run() (*Result, error) {
 		}
 		if r.OnProgress != nil && (i+1)%256 == 0 {
 			r.OnProgress(Progress{Engine: "random", Step: i + 1, Steps: samples,
-				Evaluations: res.Evaluations,
-				Accepted:    res.Improvements, Rejected: res.Evaluations - res.Improvements,
+				Evaluations: res.Evaluations, ExactEvals: res.ExactEvals,
+				Accepted: res.Improvements, Rejected: res.Evaluations - res.Improvements,
 				BestCost: res.BestCost})
 		}
 	}
@@ -202,15 +205,27 @@ func (h *HillClimber) Run() (*Result, error) {
 				return nil, err
 			}
 		}
-		occ := cur.Occupants(numTiles)
 		cost, dobj, useDelta, err := bindObjective(h.Problem.Obj, cur)
 		if err != nil {
 			return nil, err
 		}
 		useDeltaAny = useDelta
 		res.Evaluations++
+		res.ExactEvals++
 		if r == 0 {
 			res.InitialCost = cost
+		}
+		var inc incumbent
+		inc.bind(cur, numTiles, cost)
+		// Tier-A bound filter: nil unless the objective is a
+		// TieredObjective with a certified lower bound (and the exact tier
+		// has no delta path — a delta-capable exact objective is already
+		// cheaper than any bound probe).
+		var bnd LowerBoundObjective
+		if !useDelta {
+			if bnd, err = bindBound(h.Problem.Obj, cur); err != nil {
+				return nil, err
+			}
 		}
 		for {
 			bestD := 0.0
@@ -220,7 +235,7 @@ func (h *HillClimber) Run() (*Result, error) {
 			for a := 0; a < numTiles; a++ {
 				for b := a + 1; b < numTiles; b++ {
 					ta, tb := topology.TileID(a), topology.TileID(b)
-					if occ[ta] == mapping.Unassigned && occ[tb] == mapping.Unassigned {
+					if inc.occ[ta] == mapping.Unassigned && inc.occ[tb] == mapping.Unassigned {
 						continue
 					}
 					if h.Ctx != nil && res.Evaluations%pollEvery == 0 {
@@ -228,20 +243,42 @@ func (h *HillClimber) Run() (*Result, error) {
 							return nil, err
 						}
 					}
+					if bnd != nil {
+						// Skip rule: the candidate's certified bound already
+						// proves its exact delta cannot beat bestD. lb ≤ c
+						// (the exact cost) gives lb−cost ≤ c−cost = d by
+						// monotonicity of float subtraction in its first
+						// operand, so lb−cost ≥ bestD implies d ≥ bestD and
+						// the strict d < bestD selection below could never
+						// fire — the skipped candidate is exactly one the
+						// exact scan would have rejected, which is what
+						// keeps the filtered trajectory bit-identical.
+						lb, err := bnd.SwapBound(inc.occ, ta, tb)
+						if err != nil {
+							return nil, err
+						}
+						if lb-inc.cost >= bestD {
+							res.Evaluations++
+							res.BoundSkips++
+							scanned++
+							continue
+						}
+					}
 					var c, d float64
 					if useDelta {
-						d, err = dobj.SwapDelta(occ, ta, tb)
-						c = cost + d
+						d, err = dobj.SwapDelta(inc.occ, ta, tb)
+						c = inc.cost + d
 					} else {
-						mapping.SwapTiles(cur, occ, ta, tb)
-						c, err = h.Problem.Obj.Cost(cur)
-						mapping.SwapTiles(cur, occ, ta, tb)
-						d = c - cost
+						mapping.SwapTiles(inc.cur, inc.occ, ta, tb)
+						c, err = h.Problem.Obj.Cost(inc.cur)
+						mapping.SwapTiles(inc.cur, inc.occ, ta, tb)
+						d = c - inc.cost
 					}
 					if err != nil {
 						return nil, err
 					}
 					res.Evaluations++
+					res.ExactEvals++
 					scanned++
 					if d < bestD {
 						bestD = d
@@ -256,7 +293,7 @@ func (h *HillClimber) Run() (*Result, error) {
 			}
 			accepted++
 			rejected += scanned - 1
-			mapping.SwapTiles(cur, occ, bestA, bestB)
+			mapping.SwapTiles(inc.cur, inc.occ, bestA, bestB)
 			// Record an exactly recomputed cost rather than accumulating
 			// cost += bestD: repeated accumulation drifts away from the
 			// true cost and distorts later d < bestD comparisons. On the
@@ -265,20 +302,25 @@ func (h *HillClimber) Run() (*Result, error) {
 			if useDelta {
 				bestC = dobj.Commit(bestA, bestB)
 			}
-			cost = bestC
+			if bnd != nil {
+				bnd.CommitBound(bestA, bestB)
+			}
+			inc.adopt("hill", h.Problem.Obj, bestC)
 			if h.OnProgress != nil {
 				b := res.BestCost
-				if cost < b {
-					b = cost
+				if inc.cost < b {
+					b = inc.cost
 				}
 				h.OnProgress(Progress{Engine: "hill", Step: r + 1, Steps: restarts,
-					Evaluations: res.Evaluations, Accepted: accepted, Rejected: rejected,
+					Evaluations: res.Evaluations, ExactEvals: res.ExactEvals,
+					BoundSkips: res.BoundSkips,
+					Accepted:   accepted, Rejected: rejected,
 					BestCost: b})
 			}
 		}
-		if cost < res.BestCost {
-			res.BestCost = cost
-			res.Best = cur.Clone()
+		if inc.cost < res.BestCost {
+			res.BestCost = inc.cost
+			res.Best = inc.cur.Clone()
 			res.Improvements++
 		}
 	}
@@ -324,12 +366,21 @@ func (t *Tabu) Run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	occ := cur.Occupants(numTiles)
 	cost, dobj, useDelta, err := bindObjective(t.Problem.Obj, cur)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{InitialCost: cost, BestCost: cost, Best: cur.Clone(), Evaluations: 1}
+	res := &Result{InitialCost: cost, BestCost: cost, Best: cur.Clone(),
+		Evaluations: 1, ExactEvals: 1}
+	var inc incumbent
+	inc.bind(cur, numTiles, cost)
+	// Tier-A bound filter; see HillClimber.Run.
+	var bnd LowerBoundObjective
+	if !useDelta {
+		if bnd, err = bindBound(t.Problem.Obj, cur); err != nil {
+			return nil, err
+		}
+	}
 
 	tabuUntil := make(map[[2]topology.TileID]int, numTiles)
 	// Telemetry counters: one applied (accepted) move per iteration, the
@@ -347,12 +398,12 @@ func (t *Tabu) Run() (*Result, error) {
 		bestD := math.Inf(1)
 		var bestC float64
 		var scanned int64
-		aspire := res.BestCost - cost
+		aspire := res.BestCost - inc.cost
 		bestA, bestB := topology.TileID(-1), topology.TileID(-1)
 		for a := 0; a < numTiles; a++ {
 			for b := a + 1; b < numTiles; b++ {
 				ta, tb := topology.TileID(a), topology.TileID(b)
-				if occ[ta] == mapping.Unassigned && occ[tb] == mapping.Unassigned {
+				if inc.occ[ta] == mapping.Unassigned && inc.occ[tb] == mapping.Unassigned {
 					continue
 				}
 				if t.Ctx != nil && res.Evaluations%pollEvery == 0 {
@@ -360,20 +411,40 @@ func (t *Tabu) Run() (*Result, error) {
 						return nil, err
 					}
 				}
+				if bnd != nil {
+					// Skip rule as in HillClimber.Run: lb−cost ≥ bestD
+					// certifies d ≥ bestD, so the candidate could neither
+					// be selected (strict d < bestD) nor change any tabu
+					// bookkeeping (the scan only reads tabuUntil). The
+					// first scanned candidate is never skipped — bestD
+					// starts at +Inf — so bestA is found exactly as in the
+					// unfiltered scan.
+					lb, err := bnd.SwapBound(inc.occ, ta, tb)
+					if err != nil {
+						return nil, err
+					}
+					if lb-inc.cost >= bestD {
+						res.Evaluations++
+						res.BoundSkips++
+						scanned++
+						continue
+					}
+				}
 				var c, d float64
 				if useDelta {
-					d, err = dobj.SwapDelta(occ, ta, tb)
-					c = cost + d
+					d, err = dobj.SwapDelta(inc.occ, ta, tb)
+					c = inc.cost + d
 				} else {
-					mapping.SwapTiles(cur, occ, ta, tb)
-					c, err = t.Problem.Obj.Cost(cur)
-					mapping.SwapTiles(cur, occ, ta, tb)
-					d = c - cost
+					mapping.SwapTiles(inc.cur, inc.occ, ta, tb)
+					c, err = t.Problem.Obj.Cost(inc.cur)
+					mapping.SwapTiles(inc.cur, inc.occ, ta, tb)
+					d = c - inc.cost
 				}
 				if err != nil {
 					return nil, err
 				}
 				res.Evaluations++
+				res.ExactEvals++
 				scanned++
 				if tabuUntil[[2]topology.TileID{ta, tb}] > it && d >= aspire {
 					continue // tabu and no aspiration
@@ -391,22 +462,26 @@ func (t *Tabu) Run() (*Result, error) {
 		}
 		accepted++
 		rejected += scanned - 1
-		mapping.SwapTiles(cur, occ, bestA, bestB)
+		mapping.SwapTiles(inc.cur, inc.occ, bestA, bestB)
 		// As in the hill climber, the delta path adopts Commit's exact
 		// recompute instead of the accumulated cost + delta.
 		if useDelta {
 			bestC = dobj.Commit(bestA, bestB)
 		}
-		cost = bestC
+		if bnd != nil {
+			bnd.CommitBound(bestA, bestB)
+		}
+		inc.adopt("tabu", t.Problem.Obj, bestC)
 		tabuUntil[[2]topology.TileID{bestA, bestB}] = it + tenure
-		if cost < res.BestCost {
-			res.BestCost = cost
-			copy(res.Best, cur)
+		if inc.cost < res.BestCost {
+			res.BestCost = inc.cost
+			copy(res.Best, inc.cur)
 			res.Improvements++
 		}
 		if t.OnProgress != nil {
 			t.OnProgress(Progress{Engine: "tabu", Step: it + 1, Steps: iters,
-				Evaluations: res.Evaluations, Accepted: accepted,
+				Evaluations: res.Evaluations, ExactEvals: res.ExactEvals,
+				BoundSkips: res.BoundSkips, Accepted: accepted,
 				Rejected: rejected, BestCost: res.BestCost})
 		}
 	}

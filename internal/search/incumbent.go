@@ -1,0 +1,48 @@
+package search
+
+import (
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+// incumbent is the walk state the neighbourhood engines (HillClimber,
+// Tabu) share: the current mapping, its occupancy view, and the single
+// tracked exact cost of that mapping. Before the two-tier seam each
+// engine re-derived the incumbent cost through scattered locals, which
+// left the tier-A bound filter nowhere clean to compare against; hoisting
+// it into one field makes the bound compare one read (`lb - inc.cost`)
+// and gives the drift invariant one seam to audit.
+//
+// The invariant: after bind/adopt, inc.cost is always an exactly
+// recomputed cost of inc.cur — either bindObjective's initial pricing or
+// an accepted neighbour's full/Commit pricing — never an accumulation of
+// deltas (the PR-2 drift-guard rule the engines have pinned since the
+// DeltaObjective seam).
+type incumbent struct {
+	cur  mapping.Mapping
+	occ  []model.CoreID
+	cost float64
+}
+
+// bind points the incumbent at a walk's starting state.
+func (inc *incumbent) bind(cur mapping.Mapping, numTiles int, cost float64) {
+	inc.cur = cur
+	inc.occ = cur.Occupants(numTiles)
+	inc.cost = cost
+}
+
+// adopt records an exactly recomputed cost for the (already swapped)
+// current mapping and notifies the test audit hook, if any.
+func (inc *incumbent) adopt(engine string, obj Objective, cost float64) {
+	inc.cost = cost
+	if incumbentAudit != nil {
+		incumbentAudit(engine, obj, inc)
+	}
+}
+
+// incumbentAudit is a test-only hook invoked after every adopted move
+// with the engine name, the walk's objective and the incumbent state.
+// The invariant test re-prices inc.cur and asserts bitwise equality with
+// inc.cost. Nil in production: the only hot-path cost is one nil check
+// per accepted move (not per scanned candidate).
+var incumbentAudit func(engine string, obj Objective, inc *incumbent)

@@ -130,6 +130,9 @@ func mergeRestarts(results []*Result) *Result {
 	}
 	for _, r := range results {
 		merged.Evaluations += r.Evaluations
+		merged.ExactEvals += r.ExactEvals
+		merged.BoundSkips += r.BoundSkips
+		merged.SurrogateEvals += r.SurrogateEvals
 		merged.Improvements += r.Improvements
 	}
 	return merged
@@ -219,14 +222,16 @@ func (s *ShardedExhaustive) Run() (*Result, error) {
 					return false
 				}
 				res.Evaluations++
+				res.ExactEvals++
 				if res.Evaluations == 1 {
 					res.InitialCost = c
 				}
 				if s.OnProgress != nil && res.Evaluations%4096 == 0 {
 					s.OnProgress(Progress{Engine: "ES", Restart: i,
-						Evaluations: res.Evaluations, Accepted: res.Improvements,
-						Rejected:    res.Evaluations - res.Improvements,
-						BestCost:    res.BestCost})
+						Evaluations: res.Evaluations, ExactEvals: res.ExactEvals,
+						Accepted: res.Improvements,
+						Rejected: res.Evaluations - res.Improvements,
+						BestCost: res.BestCost})
 				}
 				if c < res.BestCost {
 					res.BestCost = c
@@ -276,6 +281,9 @@ func mergeShards(shards []*Result) *Result {
 	merged := &Result{BestCost: math.Inf(1), Certified: true}
 	for i, r := range shards {
 		merged.Evaluations += r.Evaluations
+		merged.ExactEvals += r.ExactEvals
+		merged.BoundSkips += r.BoundSkips
+		merged.SurrogateEvals += r.SurrogateEvals
 		merged.Improvements += r.Improvements
 		if i == 0 {
 			merged.InitialCost = r.InitialCost

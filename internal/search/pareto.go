@@ -83,7 +83,12 @@ const DefaultFrontSize = 32
 type paretoWalk struct {
 	archive     *Archive
 	evaluations int64
-	initialCost float64
+	// exactEvals / surrogateEvals split evaluations by the tier that
+	// priced them; see Result. Without a surrogate every evaluation is
+	// exact.
+	exactEvals     int64
+	surrogateEvals int64
+	initialCost    float64
 }
 
 // vectorObjective extracts the VectorObjective view of obj, which the
@@ -162,6 +167,8 @@ func (e *ParetoSA) Run() (*FrontResult, error) {
 			front.InitialCost = r.initialCost
 		}
 		front.Evaluations += r.evaluations
+		front.ExactEvals += r.exactEvals
+		front.SurrogateEvals += r.surrogateEvals
 		front.Improvements += r.archive.Inserted()
 		for _, p := range r.archive.Points() {
 			merged.OfferPoint(p)
@@ -220,12 +227,25 @@ func (e *ParetoSA) walk(i int, obj VectorObjective, k, frontSize int) (*paretoWa
 	}
 	occ := cur.Occupants(numTiles)
 
+	// Tier-B surrogate (see TieredObjective): the Metropolis walk prices
+	// candidates on the surrogate's vector view, and only accepted moves
+	// pay an exact component pricing — which is also the only pricing
+	// ever offered to the archive, so every front point is exact.
+	var sobj VectorObjective
+	if s := surrogateOf(obj); s != nil {
+		if sv, ok := s.(VectorObjective); ok {
+			sobj = sv
+		}
+	}
+	useSurr := sobj != nil
+
 	res := &paretoWalk{archive: NewArchive(frontSize)}
 	comps := make([]float64, k)
 	if err := obj.ComponentsInto(cur, comps); err != nil {
 		return nil, err
 	}
 	res.evaluations++
+	res.exactEvals++
 	res.initialCost = Collapse(collapse, comps)
 
 	// Normalise by the starting point so the axes trade off on comparable
@@ -246,7 +266,19 @@ func (e *ParetoSA) walk(i int, obj VectorObjective, k, frontSize int) (*paretoWa
 		return s
 	}
 
-	cost := scalar(comps)
+	// The walk's tracked scalar lives in whichever domain prices the
+	// Metropolis candidates: exact components normally, surrogate
+	// components under tier B (same norm — the surrogate approximates the
+	// exact axes, so the starting-point scales transfer). The archive and
+	// bestCollapse always see exact components only.
+	scomps := comps
+	if useSurr {
+		scomps = make([]float64, k)
+		if err := sobj.ComponentsInto(cur, scomps); err != nil {
+			return nil, err
+		}
+	}
+	cost := scalar(scomps)
 	bestScalar := cost
 	bestCollapse := res.initialCost
 	res.archive.Offer(cur, comps, res.initialCost)
@@ -289,15 +321,33 @@ func (e *ParetoSA) walk(i int, obj VectorObjective, k, frontSize int) (*paretoWa
 	// price applies the swap, prices the swapped mapping on every axis,
 	// offers it to the archive, and undoes the swap — the front engine
 	// has no incremental path (components must be exact evaluator
-	// output, never accumulated deltas), so it always full-prices.
+	// output, never accumulated deltas), so it always full-prices. Under
+	// the tier-B surrogate, pricing runs on the surrogate's vector view
+	// and nothing is offered here: only accepted moves are exact-priced
+	// (below), and only exact components ever reach the archive.
 	price := func(ta, tb topology.TileID) (float64, error) {
 		mapping.SwapTiles(cur, occ, ta, tb)
+		if useSurr {
+			err := sobj.ComponentsInto(cur, scomps)
+			mapping.SwapTiles(cur, occ, ta, tb) // undo
+			return scalar(scomps), err
+		}
 		err := obj.ComponentsInto(cur, comps)
 		if err == nil {
 			res.archive.Offer(cur, comps, Collapse(collapse, comps))
 		}
 		mapping.SwapTiles(cur, occ, ta, tb) // undo
 		return scalar(comps), err
+	}
+	// countEval attributes one priced candidate to the tier that priced
+	// it, mirroring Annealer.Run.
+	countEval := func() {
+		res.evaluations++
+		if useSurr {
+			res.surrogateEvals++
+		} else {
+			res.exactEvals++
+		}
 	}
 
 	temp := e.InitialTemp
@@ -317,7 +367,7 @@ func (e *ParetoSA) walk(i int, obj VectorObjective, k, frontSize int) (*paretoWa
 			if err != nil {
 				return nil, err
 			}
-			res.evaluations++
+			countEval()
 			if d := c - cost; d > 0 {
 				sum += d
 				n++
@@ -350,12 +400,24 @@ func (e *ParetoSA) walk(i int, obj VectorObjective, k, frontSize int) (*paretoWa
 			if err != nil {
 				return nil, err
 			}
-			res.evaluations++
+			countEval()
 			d := c - cost
 			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
 				accepted++
 				mapping.SwapTiles(cur, occ, ta, tb)
 				cost = c
+				if useSurr {
+					// Exact-reprice the adopted mapping: the archive and
+					// bestCollapse only ever see exact components, so a
+					// surrogate mis-ranking can pollute the walk path but
+					// never the reported front.
+					if err := obj.ComponentsInto(cur, comps); err != nil {
+						return nil, err
+					}
+					res.evaluations++
+					res.exactEvals++
+					res.archive.Offer(cur, comps, Collapse(collapse, comps))
+				}
 				if cost < bestScalar {
 					bestScalar = cost
 					bestCollapse = Collapse(collapse, comps)
@@ -373,8 +435,9 @@ func (e *ParetoSA) walk(i int, obj VectorObjective, k, frontSize int) (*paretoWa
 		temp *= alpha
 		if e.OnProgress != nil {
 			e.OnProgress(Progress{Engine: "pareto", Restart: i, Step: step + 1,
-				Steps: steps, Evaluations: res.evaluations, Accepted: accepted,
-				Rejected: rejected, BestCost: bestCollapse})
+				Steps: steps, Evaluations: res.evaluations,
+				ExactEvals: res.exactEvals, SurrogateEvals: res.surrogateEvals,
+				Accepted: accepted, Rejected: rejected, BestCost: bestCollapse})
 		}
 	}
 	return res, nil

@@ -18,9 +18,17 @@ type Progress struct {
 	// search, restarts for hill climbing. Steps is 0 when the total is
 	// unknown up front (exhaustive enumeration).
 	Step, Steps int
-	// Evaluations counts objective calls so far in this run (for the
-	// parallel engines: in this restart/shard).
+	// Evaluations counts candidate pricings so far in this run (for the
+	// parallel engines: in this restart/shard), whatever tier priced
+	// them; Evaluations == ExactEvals + BoundSkips + SurrogateEvals.
 	Evaluations int64
+	// ExactEvals counts pricings that ran the exact objective;
+	// BoundSkips counts candidates the tier-A certified lower bound
+	// dismissed without an exact pricing; SurrogateEvals counts
+	// candidates priced by the tier-B calibrated surrogate. Runs without
+	// tiers report ExactEvals == Evaluations and zeros elsewhere. Each
+	// counter is monotone over a run, like Evaluations.
+	ExactEvals, BoundSkips, SurrogateEvals int64
 	// Accepted / Rejected count the walk's move decisions so far. For
 	// the move-based engines (SA, hill, tabu, pareto) an accepted move
 	// is one applied to the walk state and a rejected one is a priced

@@ -89,9 +89,12 @@ func (f ObjectiveFunc) Cost(mp mapping.Mapping) (float64, error) { return f(mp) 
 
 // bindObjective primes an objective for one walk over the given starting
 // mapping: a DeltaObjective binds it via Reset (which also validates
-// injectivity), the fallback prices it with a plain Cost call. The caller
-// counts the returned evaluation.
+// injectivity), the fallback prices it with a plain Cost call. A
+// TieredObjective is unwrapped to its exact tier first, so tiered runs
+// bind and price on exactly the bare evaluator's code path. The caller
+// counts the returned evaluation (an exact one).
 func bindObjective(obj Objective, mp mapping.Mapping) (cost float64, dobj DeltaObjective, useDelta bool, err error) {
+	obj = exactOf(obj)
 	if dobj, ok := obj.(DeltaObjective); ok {
 		c, err := dobj.Reset(mp)
 		return c, dobj, true, err
@@ -123,8 +126,20 @@ type Result struct {
 	BestCost float64
 	// InitialCost is the objective value of the starting mapping.
 	InitialCost float64
-	// Evaluations counts objective calls.
+	// Evaluations counts candidate pricings, whatever tier priced them:
+	// Evaluations == ExactEvals + BoundSkips + SurrogateEvals always
+	// holds, and a tier-A run's Evaluations equals the unfiltered run's
+	// (skipped candidates still count — they were priced, by the bound).
 	Evaluations int64
+	// ExactEvals counts pricings that ran the exact objective. A run
+	// without tiers has ExactEvals == Evaluations.
+	ExactEvals int64
+	// BoundSkips counts candidates dismissed by the tier-A certified
+	// lower bound without an exact pricing.
+	BoundSkips int64
+	// SurrogateEvals counts candidates priced by the tier-B calibrated
+	// surrogate instead of the exact objective.
+	SurrogateEvals int64
 	// Improvements counts strict improvements of the incumbent best.
 	Improvements int64
 	// Certified is true when the whole space was enumerated (exhaustive
@@ -230,9 +245,26 @@ func (a *Annealer) Run() (*Result, error) {
 		return nil, err
 	}
 	res.Evaluations++
+	res.ExactEvals++
 	res.InitialCost = cost
 	res.Best = cur.Clone()
 	res.BestCost = cost
+
+	// Tier-B surrogate walk (see TieredObjective): candidates are priced
+	// on the calibrated surrogate and only accepted moves pay an exact
+	// pricing, so `cost` (and therefore Best/BestCost) stays exact while
+	// the Metropolis decisions run on surrogate deltas. scost tracks the
+	// surrogate's own baseline the way cost tracks the exact one on the
+	// delta path. Never combined with useDelta: a delta-capable exact
+	// objective is already as cheap as any surrogate.
+	surr := surrogateOf(a.Problem.Obj)
+	useSurr := surr != nil && !useDelta
+	var scost float64
+	if useSurr {
+		if scost, err = surr.Reset(cur); err != nil {
+			return nil, err
+		}
+	}
 
 	// A 1-tile mesh admits exactly one mapping, so it is already the
 	// optimum — and propose() below could never draw two distinct tiles:
@@ -284,20 +316,51 @@ func (a *Annealer) Run() (*Result, error) {
 			d, err := dobj.SwapDelta(occ, ta, tb)
 			return cost + d, d, err
 		}
+		if useSurr {
+			// Surrogate pricing: the returned delta (and so the Metropolis
+			// decision) lives in the surrogate's own scale.
+			d, err := surr.SwapDelta(occ, ta, tb)
+			return scost + d, d, err
+		}
 		mapping.SwapTiles(cur, occ, ta, tb)
 		c, err := a.Problem.Obj.Cost(cur)
 		mapping.SwapTiles(cur, occ, ta, tb) // undo
 		return c, c - cost, err
 	}
+	// countEval attributes one priced candidate to the tier that priced
+	// it; Evaluations always advances so the poll cadence and the
+	// reported totals are tier-independent.
+	countEval := func() {
+		res.Evaluations++
+		if useSurr {
+			res.SurrogateEvals++
+		} else {
+			res.ExactEvals++
+		}
+	}
 	// accept applies the swap priced at newCost. On the delta path the
 	// tracked cost is Commit's exact recompute of the updated baseline,
-	// not an accumulation of deltas — see the DeltaObjective contract.
-	accept := func(ta, tb topology.TileID, newCost float64) {
+	// not an accumulation of deltas — see the DeltaObjective contract. On
+	// the surrogate path the applied move is immediately re-priced
+	// exactly: the walk may be steered by the surrogate, but the tracked
+	// incumbent (and so Best/BestCost) only ever holds exact values.
+	accept := func(ta, tb topology.TileID, newCost float64) error {
 		mapping.SwapTiles(cur, occ, ta, tb)
-		if useDelta {
+		switch {
+		case useDelta:
 			newCost = dobj.Commit(ta, tb)
+		case useSurr:
+			scost = surr.Commit(ta, tb)
+			c, err := a.Problem.Obj.Cost(cur)
+			if err != nil {
+				return err
+			}
+			res.Evaluations++
+			res.ExactEvals++
+			newCost = c
 		}
 		cost = newCost
+		return nil
 	}
 
 	temp := a.InitialTemp
@@ -317,7 +380,7 @@ func (a *Annealer) Run() (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			res.Evaluations++
+			countEval()
 			if d > 0 {
 				sum += d
 				n++
@@ -368,6 +431,13 @@ func (a *Annealer) Run() (*Result, error) {
 				cost = c
 				res.BestCost = c
 			}
+			if useSurr {
+				// Rebind the surrogate baseline to the jump target; cost
+				// stays the incumbent's exact BestCost.
+				if scost, err = surr.Reset(cur); err != nil {
+					return nil, err
+				}
+			}
 			stalled = 0
 		}
 		improvedThisStep := false
@@ -382,9 +452,11 @@ func (a *Annealer) Run() (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			res.Evaluations++
+			countEval()
 			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
-				accept(ta, tb, c)
+				if err := accept(ta, tb, c); err != nil {
+					return nil, err
+				}
 				accepted++
 				if cost < res.BestCost {
 					res.BestCost = cost
@@ -404,11 +476,13 @@ func (a *Annealer) Run() (*Result, error) {
 		temp *= alpha
 		if a.OnProgress != nil {
 			a.OnProgress(Progress{Engine: "SA", Step: step + 1, Steps: steps,
-				Evaluations: res.Evaluations, Accepted: accepted, Rejected: rejected,
+				Evaluations: res.Evaluations, ExactEvals: res.ExactEvals,
+				SurrogateEvals: res.SurrogateEvals,
+				Accepted:       accepted, Rejected: rejected,
 				BestCost: res.BestCost})
 		}
 	}
-	if useDelta {
+	if useDelta || useSurr {
 		if err := repriceBest(a.Problem.Obj, res); err != nil {
 			return nil, err
 		}

@@ -285,6 +285,11 @@ type FrontResult struct {
 	InitialCost float64
 	// Evaluations counts component evaluations across all walks.
 	Evaluations int64
+	// ExactEvals / SurrogateEvals split Evaluations by the tier that
+	// priced each candidate (the front engines never use the tier-A
+	// bound, so Evaluations == ExactEvals + SurrogateEvals here). Runs
+	// without a surrogate report ExactEvals == Evaluations.
+	ExactEvals, SurrogateEvals int64
 	// Improvements counts archive insertions across all walks (points
 	// that advanced a walk's front, including ones later evicted by
 	// better candidates).

@@ -31,14 +31,18 @@ func (s State) Terminal() bool {
 
 // ProgressJSON is the wire form of a search.Progress snapshot.
 type ProgressJSON struct {
-	Engine      string  `json:"engine"`
-	Restart     int     `json:"restart"`
-	Step        int     `json:"step"`
-	Steps       int     `json:"steps"`
-	Evaluations int64   `json:"evaluations"`
-	Accepted    int64   `json:"accepted"`
-	Rejected    int64   `json:"rejected"`
-	BestCost    float64 `json:"best_cost_j"`
+	Engine      string `json:"engine"`
+	Restart     int    `json:"restart"`
+	Step        int    `json:"step"`
+	Steps       int    `json:"steps"`
+	Evaluations int64  `json:"evaluations"`
+	// Two-tier split of Evaluations; see Result for the invariant.
+	ExactEvals     int64   `json:"exact_evals"`
+	BoundSkips     int64   `json:"bound_skips"`
+	SurrogateEvals int64   `json:"surrogate_evals"`
+	Accepted       int64   `json:"accepted"`
+	Rejected       int64   `json:"rejected"`
+	BestCost       float64 `json:"best_cost_j"`
 }
 
 // Event is one server-sent event on /v1/jobs/{id}/events.
@@ -69,13 +73,17 @@ type SpansJSON struct {
 // EngineTelemetryJSON aggregates one engine's search telemetry across
 // its restarts/shards: totals of the final Progress snapshot per stream.
 type EngineTelemetryJSON struct {
-	Engine      string  `json:"engine"`
-	Restarts    int     `json:"restarts"`
-	Snapshots   int64   `json:"snapshots"`
-	Evaluations int64   `json:"evaluations"`
-	Accepted    int64   `json:"accepted"`
-	Rejected    int64   `json:"rejected"`
-	BestCost    float64 `json:"best_cost_j"`
+	Engine      string `json:"engine"`
+	Restarts    int    `json:"restarts"`
+	Snapshots   int64  `json:"snapshots"`
+	Evaluations int64  `json:"evaluations"`
+	// Two-tier split of Evaluations; see Result for the invariant.
+	ExactEvals     int64   `json:"exact_evals"`
+	BoundSkips     int64   `json:"bound_skips"`
+	SurrogateEvals int64   `json:"surrogate_evals"`
+	Accepted       int64   `json:"accepted"`
+	Rejected       int64   `json:"rejected"`
+	BestCost       float64 `json:"best_cost_j"`
 }
 
 // TelemetryJSON is the observability block of a computed job's status:
@@ -165,6 +173,7 @@ type streamStats struct {
 // counters.
 type progressDelta struct {
 	evals, accepted, rejected int64
+	exact, skips, surrogate   int64
 	newStream                 bool
 }
 
@@ -259,6 +268,9 @@ func (j *Job) telemetryLocked() *TelemetryJSON {
 			e.Restarts++
 			e.Snapshots += st.snaps
 			e.Evaluations += st.last.Evaluations
+			e.ExactEvals += st.last.ExactEvals
+			e.BoundSkips += st.last.BoundSkips
+			e.SurrogateEvals += st.last.SurrogateEvals
 			e.Accepted += st.last.Accepted
 			e.Rejected += st.last.Rejected
 			if st.last.BestCost < e.BestCost {
@@ -379,14 +391,17 @@ func (j *Job) finish(result json.RawMessage, err error, cacheHit bool, now time.
 // are snapshots, so losing an intermediate one is harmless.
 func (j *Job) publishProgress(p search.Progress) progressDelta {
 	pj := &ProgressJSON{
-		Engine:      p.Engine,
-		Restart:     p.Restart,
-		Step:        p.Step,
-		Steps:       p.Steps,
-		Evaluations: p.Evaluations,
-		Accepted:    p.Accepted,
-		Rejected:    p.Rejected,
-		BestCost:    p.BestCost,
+		Engine:         p.Engine,
+		Restart:        p.Restart,
+		Step:           p.Step,
+		Steps:          p.Steps,
+		Evaluations:    p.Evaluations,
+		ExactEvals:     p.ExactEvals,
+		BoundSkips:     p.BoundSkips,
+		SurrogateEvals: p.SurrogateEvals,
+		Accepted:       p.Accepted,
+		Rejected:       p.Rejected,
+		BestCost:       p.BestCost,
 	}
 	var d progressDelta
 	j.mu.Lock()
@@ -404,6 +419,9 @@ func (j *Job) publishProgress(p search.Progress) progressDelta {
 	// Snapshots are cumulative per stream; clamp protects the counters
 	// against a regressing engine rather than trusting it blindly.
 	d.evals = max(p.Evaluations-st.last.Evaluations, 0)
+	d.exact = max(p.ExactEvals-st.last.ExactEvals, 0)
+	d.skips = max(p.BoundSkips-st.last.BoundSkips, 0)
+	d.surrogate = max(p.SurrogateEvals-st.last.SurrogateEvals, 0)
 	d.accepted = max(p.Accepted-st.last.Accepted, 0)
 	d.rejected = max(p.Rejected-st.last.Rejected, 0)
 	st.last = p

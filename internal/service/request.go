@@ -91,6 +91,20 @@ type Request struct {
 	// mapping (mapping.SeedGreedy).
 	GreedySeed bool `json:"greedy_seed,omitempty"`
 
+	// Surrogate enables the tier-B calibrated surrogate for the Metropolis
+	// engines (model "cdcm" with method "sa", and the intact "pareto"
+	// model): candidates are priced on an analytic predictor fitted
+	// against exact simulations at build time, with every reported result
+	// exact-repriced (core.Options.Surrogate). Deterministic under the
+	// job's seed but not bit-identical to a surrogate-free run, so it is
+	// part of the cache key. Ignored — bit for bit — by the engines that
+	// cannot use it.
+	Surrogate bool `json:"surrogate,omitempty"`
+	// SurrogateSamples is the surrogate's calibration budget in exact
+	// simulations (0 = core.DefaultSurrogateSamples); meaningful only
+	// with Surrogate.
+	SurrogateSamples int `json:"surrogate_samples,omitempty"`
+
 	// FaultSet enumerates explicit failed NoC elements; FaultRate/
 	// FaultSeed instead draw a deterministic random fault set
 	// (topology.GenerateFaults — every bidirectional link pair fails with
@@ -208,7 +222,7 @@ func (r *Request) Resolve() (*Instance, error) {
 		}
 	}
 	if r.TempSteps < 0 || r.MovesPerTemp < 0 || r.StallSteps < 0 || r.Reheats < 0 ||
-		r.Samples < 0 || r.ESLimit < 0 || r.FrontSize < 0 {
+		r.Samples < 0 || r.ESLimit < 0 || r.FrontSize < 0 || r.SurrogateSamples < 0 {
 		return nil, badRequest("negative engine tuning value")
 	}
 
@@ -250,21 +264,23 @@ func (r *Request) Resolve() (*Instance, error) {
 		Strategy: strategy,
 		Method:   method,
 		Opts: core.Options{
-			Method:       method,
-			Seed:         r.Seed,
-			TempSteps:    r.TempSteps,
-			MovesPerTemp: r.MovesPerTemp,
-			Alpha:        r.Alpha,
-			StallSteps:   r.StallSteps,
-			Reheats:      r.Reheats,
-			Samples:      r.Samples,
-			ESLimit:      r.ESLimit,
-			ESAnchor:     r.ESAnchor,
-			FrontSize:    r.FrontSize,
-			SeedGreedy:   r.GreedySeed,
-			Restarts:     restarts,
-			Workers:      r.Workers,
-			Faults:       faults,
+			Method:           method,
+			Seed:             r.Seed,
+			TempSteps:        r.TempSteps,
+			MovesPerTemp:     r.MovesPerTemp,
+			Alpha:            r.Alpha,
+			StallSteps:       r.StallSteps,
+			Reheats:          r.Reheats,
+			Samples:          r.Samples,
+			ESLimit:          r.ESLimit,
+			ESAnchor:         r.ESAnchor,
+			FrontSize:        r.FrontSize,
+			SeedGreedy:       r.GreedySeed,
+			Restarts:         restarts,
+			Workers:          r.Workers,
+			Surrogate:        r.Surrogate,
+			SurrogateSamples: r.SurrogateSamples,
+			Faults:           faults,
 		},
 	}, nil
 }
@@ -296,6 +312,17 @@ func (in *Instance) Key() string {
 		in.Strategy, in.Method, o.Seed, o.Restarts, o.TempSteps, o.MovesPerTemp,
 		o.Alpha, o.StallSteps, o.Reheats, o.Samples, o.ESLimit, o.ESAnchor,
 		o.FrontSize, o.SeedGreedy)
+	// Tier-B surrogate runs hash an extra line only when the flag is set:
+	// a surrogate walk is deterministic but not bit-identical to the
+	// surrogate-free walk, so the two must never share a cache entry —
+	// while every surrogate-free submission keeps its pre-two-tier key.
+	if o.Surrogate {
+		samples := o.SurrogateSamples
+		if samples == 0 {
+			samples = core.DefaultSurrogateSamples
+		}
+		fmt.Fprintf(h, "surrogate:samples=%d\n", samples)
+	}
 	// The resolved fault set, in canonical element form: fault_set and
 	// fault_rate submissions resolving to the same failed elements share a
 	// cache entry, and an empty set hashes exactly like the pre-fault

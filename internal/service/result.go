@@ -38,12 +38,20 @@ type Result struct {
 	Restarts int    `json:"restarts"`
 
 	// Search outcome.
-	Mapping      []int   `json:"mapping"` // core index -> tile index
-	BestCost     float64 `json:"best_cost_j"`
-	InitialCost  float64 `json:"initial_cost_j"`
-	Evaluations  int64   `json:"evaluations"`
-	Improvements int64   `json:"improvements"`
-	Certified    bool    `json:"certified"`
+	Mapping     []int   `json:"mapping"` // core index -> tile index
+	BestCost    float64 `json:"best_cost_j"`
+	InitialCost float64 `json:"initial_cost_j"`
+	Evaluations int64   `json:"evaluations"`
+	// The two-tier split of Evaluations (always ExactEvals + BoundSkips +
+	// SurrogateEvals): exact simulator pricings, candidates the certified
+	// tier-A bound disposed of without a simulation, and candidates priced
+	// on the tier-B surrogate. Single-tier runs report ExactEvals ==
+	// Evaluations and zero for the other two.
+	ExactEvals     int64 `json:"exact_evals"`
+	BoundSkips     int64 `json:"bound_skips"`
+	SurrogateEvals int64 `json:"surrogate_evals"`
+	Improvements   int64 `json:"improvements"`
+	Certified      bool  `json:"certified"`
 
 	// CDCM pricing of the winner (cost breakdown).
 	ExecCycles       int64   `json:"exec_cycles"`
@@ -157,12 +165,15 @@ func NewResult(in *Instance, res *core.ExploreResult) *Result {
 		Seed:     in.Opts.Seed,
 		Restarts: in.Opts.Restarts,
 
-		Mapping:      mp,
-		BestCost:     res.Search.BestCost,
-		InitialCost:  res.Search.InitialCost,
-		Evaluations:  res.Search.Evaluations,
-		Improvements: res.Search.Improvements,
-		Certified:    res.Search.Certified,
+		Mapping:        mp,
+		BestCost:       res.Search.BestCost,
+		InitialCost:    res.Search.InitialCost,
+		Evaluations:    res.Search.Evaluations,
+		ExactEvals:     res.Search.ExactEvals,
+		BoundSkips:     res.Search.BoundSkips,
+		SurrogateEvals: res.Search.SurrogateEvals,
+		Improvements:   res.Search.Improvements,
+		Certified:      res.Search.Certified,
 
 		ExecCycles:       met.ExecCycles,
 		ExecNS:           met.ExecNS,

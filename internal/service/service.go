@@ -113,15 +113,18 @@ type Server struct {
 	// must never touch the registry or its vectors (the scrape path
 	// takes registry locks and then, in gauge closures, s.mu — so the
 	// reverse order would deadlock).
-	reg            *obs.Registry
-	httpRequests   *obs.CounterVec
-	jobDuration    *obs.HistogramVec
-	searchEvals    *obs.CounterVec
-	searchAccepted *obs.CounterVec
-	searchRejected *obs.CounterVec
-	searchRestarts *obs.CounterVec
-	sseSubs        *obs.Gauge
-	evals          *obs.Counter
+	reg             *obs.Registry
+	httpRequests    *obs.CounterVec
+	jobDuration     *obs.HistogramVec
+	searchEvals     *obs.CounterVec
+	searchExact     *obs.CounterVec
+	searchSkips     *obs.CounterVec
+	searchSurrogate *obs.CounterVec
+	searchAccepted  *obs.CounterVec
+	searchRejected  *obs.CounterVec
+	searchRestarts  *obs.CounterVec
+	sseSubs         *obs.Gauge
+	evals           *obs.Counter
 
 	mu       sync.Mutex
 	closed   bool
@@ -365,6 +368,9 @@ func (s *Server) runJob(j *Job) {
 		// with a multi-engine future (portfolios) the label follows the
 		// emitter, not the job.
 		s.searchEvals.With(p.Engine).Add(d.evals)
+		s.searchExact.With(p.Engine).Add(d.exact)
+		s.searchSkips.With(p.Engine).Add(d.skips)
+		s.searchSurrogate.With(p.Engine).Add(d.surrogate)
 		s.searchAccepted.With(p.Engine).Add(d.accepted)
 		s.searchRejected.With(p.Engine).Add(d.rejected)
 		if d.newStream {

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSurrogateCacheKeyOnlyWhenSet pins the cache-key extension protocol
+// (the fault-set precedent): surrogate-free submissions keep their
+// pre-two-tier key bytes — with or without a stray surrogate_samples —
+// while surrogate runs key on their normalised calibration budget.
+func TestSurrogateCacheKeyOnlyWhenSet(t *testing.T) {
+	key := func(req *Request) string {
+		t.Helper()
+		in, err := req.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in.Key()
+	}
+	base := key(&Request{Demo: true, Mesh: "2x2", Seed: 7})
+	if got := key(&Request{Demo: true, Mesh: "2x2", Seed: 7, SurrogateSamples: 10}); got != base {
+		t.Fatal("surrogate_samples without surrogate changed the cache key")
+	}
+	surr := key(&Request{Demo: true, Mesh: "2x2", Seed: 7, Surrogate: true})
+	if surr == base {
+		t.Fatal("surrogate flag did not change the cache key")
+	}
+	// 0 normalises to the default budget: an explicit default shares the
+	// entry, a different budget does not.
+	if got := key(&Request{Demo: true, Mesh: "2x2", Seed: 7, Surrogate: true, SurrogateSamples: 24}); got != surr {
+		t.Fatal("explicit default surrogate_samples landed on a different key")
+	}
+	if got := key(&Request{Demo: true, Mesh: "2x2", Seed: 7, Surrogate: true, SurrogateSamples: 10}); got == surr {
+		t.Fatal("different surrogate_samples share a cache key")
+	}
+	if _, err := (&Request{Demo: true, SurrogateSamples: -1}).Resolve(); err == nil {
+		t.Fatal("negative surrogate_samples accepted")
+	}
+}
+
+// TestTierCountersInResultAndTelemetry drives the split evaluation
+// counters end to end through the daemon: a hill job reports bound skips
+// and a surrogate SA job reports surrogate evaluations, in both the
+// cache-keyed result and the per-engine telemetry block, with
+// Evaluations = ExactEvals + BoundSkips + SurrogateEvals everywhere, and
+// the new Prometheus families exposed on /metrics.
+func TestTierCountersInResultAndTelemetry(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	checkResult := func(st JobStatus) Result {
+		t.Helper()
+		var res Result
+		if err := json.Unmarshal(st.Result, &res); err != nil {
+			t.Fatal(err)
+		}
+		if got := res.ExactEvals + res.BoundSkips + res.SurrogateEvals; got != res.Evaluations {
+			t.Fatalf("result counters sum to %d, evaluations is %d: %+v", got, res.Evaluations, res)
+		}
+		if st.Telemetry == nil || len(st.Telemetry.Engines) == 0 {
+			t.Fatalf("computed job has no engine telemetry: %+v", st.Telemetry)
+		}
+		for _, e := range st.Telemetry.Engines {
+			if got := e.ExactEvals + e.BoundSkips + e.SurrogateEvals; got != e.Evaluations {
+				t.Fatalf("telemetry counters for %s sum to %d, evaluations is %d", e.Engine, got, e.Evaluations)
+			}
+		}
+		return res
+	}
+
+	_, st := postJob(t, ts, `{"demo":true,"mesh":"2x2","model":"cdcm","method":"hill","seed":11}`)
+	hill := checkResult(pollUntil(t, ts, st.ID, StateSucceeded))
+	if hill.BoundSkips == 0 {
+		t.Fatalf("hill job reports no bound skips: %+v", hill)
+	}
+	if hill.SurrogateEvals != 0 {
+		t.Fatalf("hill job reports surrogate evaluations: %+v", hill)
+	}
+
+	_, st = postJob(t, ts, `{"demo":true,"mesh":"2x2","model":"cdcm","method":"sa","seed":11,"surrogate":true,"surrogate_samples":8,"temp_steps":10,"moves_per_temp":10}`)
+	sa := checkResult(pollUntil(t, ts, st.ID, StateSucceeded))
+	if sa.SurrogateEvals == 0 {
+		t.Fatalf("surrogate job reports no surrogate evaluations: %+v", sa)
+	}
+	if sa.ExactEvals == 0 {
+		t.Fatalf("surrogate job reports no exact evaluations: %+v", sa)
+	}
+
+	_, body := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`nocd_search_exact_evals_total{engine="hill"} `,
+		`nocd_search_bound_skips_total{engine="hill"} `,
+		`nocd_search_exact_evals_total{engine="SA"} `,
+		`nocd_search_surrogate_evals_total{engine="SA"} `,
+		"# TYPE nocd_search_exact_evals_total counter",
+		"# TYPE nocd_search_bound_skips_total counter",
+		"# TYPE nocd_search_surrogate_evals_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestSurrogateJobDeterministicAcrossServers pins the replay contract
+// for tier-B jobs: two independent daemons computing the same surrogate
+// instance serve byte-identical result JSON (nothing host- or
+// schedule-dependent leaks into the cache-keyed Result).
+func TestSurrogateJobDeterministicAcrossServers(t *testing.T) {
+	req := `{"demo":true,"mesh":"2x2","model":"cdcm","method":"sa","seed":5,"surrogate":true,"temp_steps":8,"moves_per_temp":10,"restarts":2,"workers":2}`
+	var results [2]json.RawMessage
+	for i := range results {
+		_, ts := testServer(t, Config{})
+		_, st := postJob(t, ts, req)
+		results[i] = pollUntil(t, ts, st.ID, StateSucceeded).Result
+	}
+	if !bytes.Equal(results[0], results[1]) {
+		t.Fatalf("surrogate results differ across servers:\n%s\n%s", results[0], results[1])
+	}
+}
